@@ -1,0 +1,86 @@
+"""Figures 9(b)/(c) — operator state sizes and shipped data on TPC-H.
+
+9(b): bytes of operator state iOLAP keeps between batches, split into
+join state (dimension tables, kept from batch 1) and all other operators
+(sketches, non-deterministic stores — reported per batch). Both must be
+small compared to the data the batch baseline ships.
+
+9(c): data shipped across operator boundaries — baseline vs. iOLAP's
+whole run vs. iOLAP per batch. iOLAP's total carries the bootstrap/lineage
+footprint overhead; its per-batch volume is 1–2 orders of magnitude below
+the baseline (the "stop early, ship less" effect).
+"""
+
+from repro.workloads import TPCH_QUERIES
+
+from benchmarks.harness import fmt_table, run_baseline, run_iolap, write_result
+
+
+def collect(queries):
+    rows_state = []
+    rows_shipped = []
+    for name, spec in queries.items():
+        run = run_iolap(spec)
+        baseline = run_baseline(spec)
+        join_state = run.metrics.max_state_bytes("join:")
+        other_state = max(
+            b.total_state_bytes - b.state_bytes_matching("join:")
+            for b in run.metrics.batches
+        )
+        total_shipped = run.metrics.total_shipped_bytes
+        per_batch = total_shipped / len(run.metrics.batches)
+        rows_state.append(
+            [name, _mb(join_state), _mb(other_state), _mb(baseline.stats.bytes_shipped)]
+        )
+        rows_shipped.append(
+            [
+                name,
+                _mb(baseline.stats.bytes_shipped),
+                _mb(total_shipped),
+                _mb(per_batch),
+            ]
+        )
+    return rows_state, rows_shipped
+
+
+def _mb(nbytes: float) -> str:
+    return f"{nbytes / 1e6:.3f}"
+
+
+def test_fig9b_fig9c_tpch_memory(benchmark):
+    rows_state, rows_shipped = benchmark.pedantic(
+        lambda: collect(TPCH_QUERIES), rounds=1, iterations=1
+    )
+    write_result(
+        "fig9b_tpch_state_sizes",
+        fmt_table(
+            ["query", "join state MB", "other state MB", "baseline shipped MB"],
+            rows_state,
+        ),
+    )
+    write_result(
+        "fig9c_tpch_data_shipped",
+        fmt_table(
+            ["query", "baseline MB", "iOLAP total MB", "iOLAP per-batch MB"],
+            rows_shipped,
+        ),
+    )
+    ratios = []
+    for row in rows_shipped:
+        name, baseline_mb, total_mb, batch_mb = row
+        # Per-batch shipping never exceeds the baseline's one-shot volume
+        # (bootstrap trial columns inflate AGGREGATE inputs — the paper
+        # reports up to 100x footprint for aggregates — yet each batch
+        # still ships less than the batch engine does at once).
+        if float(baseline_mb) > 0.1:
+            assert float(batch_mb) < float(baseline_mb), name
+            ratios.append(float(batch_mb) / float(baseline_mb))
+    # ... and for typical queries it is 1-2 orders of magnitude less.
+    assert sorted(ratios)[len(ratios) // 2] < 0.2
+    for row in rows_state:
+        # Join states hold dimension tables plus non-deterministic stores;
+        # like the paper's Fig. 9(b), they stay well below the data volume
+        # the baseline ships (Q18's semi-join store is the largest, as its
+        # JOIN states are in the paper).
+        name, join_mb, other_mb, baseline_mb = row
+        assert float(join_mb) < max(2.0, 0.5 * float(baseline_mb)), name

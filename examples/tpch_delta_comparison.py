@@ -1,0 +1,66 @@
+"""Comparing delta-update algorithms on nested TPC-H queries.
+
+Reproduces the paper's core argument at example scale: classical
+higher-order delta maintenance (HDA, DBToaster-style) must re-evaluate
+the outer query over ALL accumulated data whenever an inner aggregate
+changes, so its per-batch cost grows linearly; iOLAP's
+uncertainty-propagating delta update confines recomputation to the
+non-deterministic set, keeping per-batch cost near constant.
+
+Run with:  python examples/tpch_delta_comparison.py
+"""
+
+from repro.baselines import HDAExecutor
+from repro.core import OnlineConfig, OnlineQueryEngine
+from repro.workloads import TPCH_QUERIES, generate_tpch
+
+
+def run_iolap(catalog, spec, num_batches):
+    engine = OnlineQueryEngine(
+        catalog, spec.streamed_table, OnlineConfig(num_trials=10, seed=5)
+    )
+    engine.run_to_completion(spec.plan, num_batches)
+    return engine.metrics
+
+
+def run_hda(catalog, spec, num_batches):
+    executor = HDAExecutor(catalog, spec.streamed_table, seed=5)
+    executor.run_to_completion(spec.plan, num_batches)
+    return executor.metrics
+
+
+def main() -> None:
+    catalog = generate_tpch(scale=5.0, seed=1).catalog()
+    num_batches = 20
+
+    for name in ["Q1", "Q17", "Q18"]:
+        spec = TPCH_QUERIES[name]
+        iolap = run_iolap(catalog, spec, num_batches)
+        hda = run_hda(catalog, spec, num_batches)
+
+        kind = "nested" if spec.nested else "flat SPJA"
+        print(f"\n=== {name} ({kind}): {spec.description} ===")
+        print(f"{'batch':>6} {'iOLAP ms':>9} {'HDA ms':>8} "
+              f"{'iOLAP recomputed':>17} {'HDA recomputed':>15}")
+        for i in [0, 4, 9, 14, 19]:
+            io_b, hda_b = iolap.batches[i], hda.batches[i]
+            print(
+                f"{i+1:>6} {io_b.wall_seconds*1000:>9.1f} "
+                f"{hda_b.wall_seconds*1000:>8.1f} "
+                f"{io_b.recomputed_tuples:>17} {hda_b.recomputed_tuples:>15}"
+            )
+        print(
+            f"totals: iOLAP {iolap.total_seconds:.2f}s / "
+            f"{iolap.total_recomputed} tuples recomputed;  "
+            f"HDA {hda.total_seconds:.2f}s / {hda.total_recomputed} tuples"
+        )
+        if spec.nested:
+            print("-> HDA re-reads the accumulated data every batch; iOLAP "
+                  "only revisits its non-deterministic set.")
+        else:
+            print("-> flat query: both collapse to classical delta "
+                  "processing (no recomputation at all).")
+
+
+if __name__ == "__main__":
+    main()

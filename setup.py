@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 517 editable installs cannot build an editable wheel. This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

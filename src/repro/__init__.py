@@ -1,0 +1,16 @@
+"""iOLAP reproduction: incremental OLAP with uncertainty-propagating deltas.
+
+Public entry points:
+
+* :mod:`repro.relational` — the bag-relational substrate (schemas,
+  relations, expressions, logical plans, batch evaluator).
+* :mod:`repro.sql` — SQL front-end for the supported SPJA+nesting subset.
+* :mod:`repro.core` — the iOLAP online engine (mini-batch controller,
+  uncertainty propagation, delta updates, lineage/lazy evaluation).
+* :mod:`repro.baselines` — batch, classical-delta (OLA), and HDA
+  (DBToaster-style higher-order delta) comparators.
+* :mod:`repro.workloads` — synthetic TPC-H-like and Conviva-like
+  workloads used by the benchmark harness.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,24 @@
+"""Comparators: batch baseline, HDA higher-order delta, viewlet rewrites."""
+
+from repro.baselines.batch import BatchRunResult, run_batch, run_batch_on_fraction
+from repro.baselines.hda import HDAExecutor, HDAPartial
+from repro.baselines.viewlet import (
+    apply_viewlet_rewrites,
+    expressions_equal,
+    factorize_common_join,
+    plans_equal,
+    push_aggregate_below_cross_join,
+)
+
+__all__ = [
+    "BatchRunResult",
+    "HDAExecutor",
+    "HDAPartial",
+    "apply_viewlet_rewrites",
+    "expressions_equal",
+    "factorize_common_join",
+    "plans_equal",
+    "push_aggregate_below_cross_join",
+    "run_batch",
+    "run_batch_on_fraction",
+]

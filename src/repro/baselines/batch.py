@@ -1,0 +1,55 @@
+"""The batch baseline: a traditional OLAP engine run.
+
+Evaluates the query once over the full dataset (the paper's *baseline*
+bars in Figures 7, 9(b) and 9(c)), with wall-clock timing and the shipped
+byte accounting of the reference evaluator.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.batching.partitioner import Partitioner
+from repro.relational.algebra import PlanNode
+from repro.relational.catalog import Catalog
+from repro.relational.evaluator import EvalStats, evaluate
+from repro.relational.relation import Relation
+
+
+@dataclass
+class BatchRunResult:
+    """Outcome of a single batch-mode execution."""
+
+    relation: Relation
+    wall_seconds: float
+    stats: EvalStats
+
+
+def run_batch(plan: PlanNode, catalog: Catalog) -> BatchRunResult:
+    """Evaluate ``plan`` over the full catalog, timed."""
+    stats = EvalStats()
+    started = time.perf_counter()
+    relation = evaluate(plan, catalog, stats)
+    return BatchRunResult(relation, time.perf_counter() - started, stats)
+
+
+def run_batch_on_fraction(
+    plan: PlanNode,
+    catalog: Catalog,
+    streamed_table: str,
+    fraction: float,
+    seed: int = 0,
+) -> BatchRunResult:
+    """Evaluate over a uniform sample of the streamed table.
+
+    Sampled rows are scaled by ``1/fraction`` so SUM/COUNT-style results
+    extrapolate — the batch analogue of iOLAP's partial-result semantics,
+    used by BlinkDB-style comparisons.
+    """
+    streamed = catalog.get(streamed_table)
+    partitioner = Partitioner(mode="shuffle", seed=seed)
+    take = max(1, round(len(streamed) * fraction))
+    indices = partitioner.partition_indices(len(streamed), 1)[0][:take]
+    sample = streamed.take(indices).scale(len(streamed) / take)
+    return run_batch(plan, catalog.replace(streamed_table, sample))

@@ -1,0 +1,105 @@
+"""Mini-batch partitioning of streamed relations (Section 2).
+
+iOLAP randomly partitions the streamed input into ``p`` batches
+``ΔD_1 … ΔD_p`` and processes one per iteration. Two partitioning modes
+are provided, mirroring the paper:
+
+* ``"blocks"`` — block-wise randomness: contiguous storage blocks are
+  randomly assigned to batches. Cheap, and statistically fine when values
+  are uncorrelated with storage order.
+* ``"shuffle"`` — the pre-processing tool for when that assumption fails:
+  a full random permutation of rows before slicing.
+
+The partitioner also exposes the accumulated-sampling bookkeeping: after
+batch ``i`` the engine has seen ``|D_i|`` rows of ``|D|``, so partial
+aggregates extrapolate with ``m_i = |D| / |D_i|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class BatchInfo:
+    """Bookkeeping for one mini-batch of a streamed relation."""
+
+    batch_no: int  # 1-based, as in the paper
+    delta_rows: int
+    seen_rows: int
+    total_rows: int
+
+    @property
+    def scale(self) -> float:
+        """The extrapolation factor ``m_i = |D| / |D_i|``."""
+        if self.seen_rows == 0:
+            return 1.0
+        return self.total_rows / self.seen_rows
+
+    @property
+    def fraction_seen(self) -> float:
+        return self.seen_rows / self.total_rows if self.total_rows else 1.0
+
+
+class Partitioner:
+    """Splits one relation into mini-batches with a deterministic seed."""
+
+    def __init__(
+        self,
+        mode: str = "shuffle",
+        seed: int = 0,
+        block_rows: int = 64,
+    ):
+        if mode not in ("shuffle", "blocks"):
+            raise ReproError(f"unknown partition mode {mode!r}")
+        self.mode = mode
+        self.seed = seed
+        self.block_rows = block_rows
+
+    def partition_indices(
+        self, num_rows: int, num_batches: int
+    ) -> list[np.ndarray]:
+        """Row-index arrays for each batch (deterministic given the seed)."""
+        if num_batches < 1:
+            raise ReproError("need at least one batch")
+        num_batches = min(num_batches, max(num_rows, 1))
+        rng = np.random.default_rng(self.seed)
+        if self.mode == "shuffle":
+            order = rng.permutation(num_rows)
+        else:
+            blocks = [
+                np.arange(start, min(start + self.block_rows, num_rows))
+                for start in range(0, num_rows, self.block_rows)
+            ]
+            rng.shuffle(blocks)
+            order = (
+                np.concatenate(blocks) if blocks else np.empty(0, dtype=np.intp)
+            )
+        return [np.sort(part) for part in np.array_split(order, num_batches)]
+
+    def partition(
+        self, relation: Relation, num_batches: int
+    ) -> list[Relation]:
+        """Materialized mini-batch relations."""
+        return [
+            relation.take(ix)
+            for ix in self.partition_indices(len(relation), num_batches)
+        ]
+
+
+def num_batches_for(total_rows: int, batch_rows: int) -> int:
+    """Batch count for a target per-batch row count (at least one)."""
+    if batch_rows <= 0:
+        raise ReproError("batch_rows must be positive")
+    return max(1, -(-total_rows // batch_rows))
+
+
+def shuffle_relation(relation: Relation, seed: int = 0) -> Relation:
+    """The pre-processing shuffle tool: a seeded random permutation."""
+    rng = np.random.default_rng(seed)
+    return relation.take(rng.permutation(len(relation)))

@@ -1,0 +1,23 @@
+"""Poissonized bootstrap error estimation."""
+
+from repro.bootstrap.analytical import (
+    analytical_range,
+    avg_stderr,
+    count_stderr,
+    sum_stderr,
+)
+from repro.bootstrap.poisson import (
+    bootstrap_ci,
+    bootstrap_stdev,
+    trial_multiplicities,
+)
+
+__all__ = [
+    "analytical_range",
+    "avg_stderr",
+    "bootstrap_ci",
+    "bootstrap_stdev",
+    "count_stderr",
+    "sum_stderr",
+    "trial_multiplicities",
+]

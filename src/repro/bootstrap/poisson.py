@@ -1,0 +1,53 @@
+"""Poissonized bootstrap (Section 7, rewrite step 2).
+
+The error-estimation substrate: instead of materializing resampled
+datasets, each source tuple is tagged with ``T`` independent Poisson(1)
+multiplicities — one per bootstrap trial. These per-trial multiplicities
+ride through the plan exactly like ordinary multiplicities (filters zero
+them, joins multiply them, aggregates sum them), so after any aggregate
+the ``T`` per-trial results form an empirical distribution of the
+estimator, from which standard errors, confidence intervals, and the
+variation ranges of Section 5 are all derived.
+
+Draws are deterministic per ``(seed, table, batch)`` so that multiple
+scans of the same streamed table inside one query observe identical trial
+weights — required for the bootstrap to be consistent across a query's
+lineage blocks — and so that failure-recovery replays reproduce history.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def trial_multiplicities(
+    num_rows: int, num_trials: int, seed: int, table: str, batch_no: int
+) -> np.ndarray:
+    """A (num_rows, num_trials) matrix of Poisson(1) trial weights."""
+    rng = np.random.default_rng(_derive_seed(seed, table, batch_no))
+    return rng.poisson(1.0, size=(num_rows, num_trials)).astype(np.float64)
+
+
+def _derive_seed(seed: int, table: str, batch_no: int) -> np.random.SeedSequence:
+    # CRC32 rather than hash(): stable across processes and replays.
+    table_code = zlib.crc32(table.encode("utf-8"))
+    return np.random.SeedSequence(entropy=seed, spawn_key=(table_code, batch_no))
+
+
+def bootstrap_stdev(trials: np.ndarray) -> float:
+    """Standard error estimate from trial outputs (NaN-safe)."""
+    clean = np.asarray(trials, dtype=np.float64)
+    clean = clean[np.isfinite(clean)]
+    return float(np.std(clean)) if len(clean) else float("nan")
+
+
+def bootstrap_ci(trials: np.ndarray, level: float = 0.95) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval from trial outputs."""
+    clean = np.asarray(trials, dtype=np.float64)
+    clean = clean[np.isfinite(clean)]
+    if len(clean) == 0:
+        return (float("nan"), float("nan"))
+    alpha = (1.0 - level) / 2.0
+    return (float(np.quantile(clean, alpha)), float(np.quantile(clean, 1.0 - alpha)))

@@ -1,0 +1,176 @@
+"""Command-line interface: run SQL online over the bundled workloads.
+
+Examples::
+
+    python -m repro.cli --workload conviva --batches 20 \\
+        "SELECT AVG(play_time) AS apt FROM sessions
+         WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)"
+
+    python -m repro.cli --workload tpch --query Q17 --engine hda
+    python -m repro.cli --workload tpch --list-queries
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.baselines import HDAExecutor, run_batch
+from repro.core import OnlineConfig, OnlineQueryEngine
+from repro.core.values import UncertainValue
+from repro.errors import ReproError
+from repro.sql import plan_sql
+from repro.workloads import (
+    CONVIVA_QUERIES,
+    TPCH_QUERIES,
+    generate_conviva,
+    generate_tpch,
+)
+
+_WORKLOADS = {
+    "tpch": (generate_tpch, TPCH_QUERIES, "lineorder"),
+    "conviva": (generate_conviva, CONVIVA_QUERIES, "sessions"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Run OLAP queries incrementally (iOLAP) over the "
+        "bundled synthetic workloads.",
+    )
+    parser.add_argument("sql", nargs="?", help="SQL text to run")
+    parser.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default="conviva",
+        help="dataset to generate (default: conviva)",
+    )
+    parser.add_argument(
+        "--query", help="run a named benchmark query (e.g. Q17, C8) instead of SQL"
+    )
+    parser.add_argument(
+        "--list-queries", action="store_true", help="list the named queries and exit"
+    )
+    parser.add_argument(
+        "--engine", choices=["iolap", "hda", "batch"], default="iolap",
+        help="execution engine (default: iolap)",
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale")
+    parser.add_argument("--seed", type=int, default=0, help="generator/engine seed")
+    parser.add_argument("--batches", type=int, default=20, help="mini-batch count")
+    parser.add_argument("--trials", type=int, default=100, help="bootstrap trials")
+    parser.add_argument("--slack", type=float, default=2.0, help="range slack ε")
+    parser.add_argument(
+        "--stream", help="table to stream (default: the workload's fact table)"
+    )
+    parser.add_argument(
+        "--stop-rsd", type=float, default=None,
+        help="stop once the worst relative stdev falls below this",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=10, help="result rows to print per update"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    generate, queries, default_stream = _WORKLOADS[args.workload]
+
+    if args.list_queries:
+        for name, spec in queries.items():
+            kind = "nested" if spec.nested else "flat"
+            print(f"{name:>4}  [{kind:>6}]  {spec.description}")
+        return 0
+
+    data = generate(scale=args.scale, seed=args.seed)
+    catalog = data.catalog()
+
+    if args.query:
+        if args.query not in queries:
+            print(f"unknown query {args.query!r}; try --list-queries", file=sys.stderr)
+            return 2
+        spec = queries[args.query]
+        plan = spec.plan
+        streamed = spec.streamed_table
+    elif args.sql:
+        try:
+            plan = plan_sql(args.sql, catalog.schemas())
+        except ReproError as exc:
+            print(f"SQL error: {exc}", file=sys.stderr)
+            return 2
+        streamed = args.stream or default_stream
+    else:
+        print("nothing to run: pass SQL text or --query/--list-queries",
+              file=sys.stderr)
+        return 2
+
+    if args.engine == "batch":
+        result = run_batch(plan, catalog)
+        print(f"batch engine: {result.wall_seconds*1000:.1f} ms, "
+              f"{len(result.relation)} rows")
+        _print_relation_rows(result.relation, args.max_rows)
+        return 0
+
+    if args.engine == "hda":
+        executor = HDAExecutor(catalog, streamed, seed=args.seed)
+        for partial in executor.run(plan, args.batches):
+            marker = "exact" if partial.is_final else "approx"
+            print(f"[batch {partial.batch_no:>3}/{partial.num_batches} "
+                  f"{partial.metrics.wall_seconds*1000:7.1f} ms  {marker}] "
+                  f"{len(partial.relation)} rows")
+        _print_relation_rows(partial.relation, args.max_rows)
+        return 0
+
+    engine = OnlineQueryEngine(
+        catalog,
+        streamed,
+        OnlineConfig(num_trials=args.trials, slack=args.slack, seed=args.seed),
+    )
+    partial = None
+    for partial in engine.run(plan, args.batches):
+        rsd = partial.max_relative_stdev()
+        rsd_text = "exact" if partial.is_final else (
+            f"rel.stdev {rsd:.4f}" if rsd == rsd else "rel.stdev n/a"
+        )
+        print(
+            f"[batch {partial.batch_no:>3}/{partial.num_batches} "
+            f"{partial.fraction_processed:>4.0%} "
+            f"{partial.metrics.wall_seconds*1000:7.1f} ms  {rsd_text}]"
+        )
+        if args.stop_rsd is not None and rsd == rsd and rsd < args.stop_rsd:
+            print(f"stopping early: accuracy target {args.stop_rsd} reached")
+            break
+    if partial is not None:
+        _print_partial_rows(partial, args.max_rows)
+        if engine.metrics.num_recoveries:
+            print(f"(failure recoveries: {engine.metrics.num_recoveries})")
+    return 0
+
+
+def _print_partial_rows(partial, max_rows: int) -> None:
+    for row in partial.sorted_plain_rows()[:max_rows]:
+        print("  " + ", ".join(f"{k}={_fmt(v)}" for k, v in row.items()))
+    hidden = len(partial.rows) - max_rows
+    if hidden > 0:
+        print(f"  ... {hidden} more rows")
+
+
+def _print_relation_rows(relation, max_rows: int) -> None:
+    for row in relation.sort_rows()[:max_rows]:
+        print("  " + ", ".join(f"{k}={_fmt(v)}" for k, v in row.items()))
+    hidden = len(relation) - max_rows
+    if hidden > 0:
+        print(f"  ... {hidden} more rows")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, UncertainValue):
+        value = value.value
+    if isinstance(value, float):
+        return f"{value:,.3f}"
+    return str(value)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

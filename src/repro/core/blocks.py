@@ -1,0 +1,219 @@
+"""Lineage blocks, block outputs, and the per-batch runtime context.
+
+Section 6.1 divides a query plan into maximal SPJA *lineage blocks*, each
+ending at an AGGREGATE. iOLAP propagates fine-grained lineage within a
+block and only ``(relation, group key)`` references across block
+boundaries. This module holds the runtime datastructures that make that
+work:
+
+* :class:`GroupValue` / :class:`BlockOutput` — the published output of an
+  aggregate block: per group key, the uncertain aggregate values (point
+  estimate + bootstrap trials + variation range) and the group's own
+  existence uncertainty (a group backed only by non-deterministic tuples
+  may still disappear from some bootstrap trials);
+* :class:`RuntimeContext` — everything an operator needs during one
+  mini-batch: the batch number and scale factor, this batch's delta
+  relations (with their Poisson trial multiplicities), the block registry
+  for lazy lineage resolution, the range monitor, metrics, and the
+  feature flags for the Figure 9(a) ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bootstrap.poisson import trial_multiplicities
+from repro.core.ranges import RangeMonitor
+from repro.core.values import LineageRef, UncertainValue
+from repro.errors import ReproError
+from repro.metrics.stats import BatchMetrics
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+
+GroupKey = tuple
+
+
+#: Membership status codes (aligned with repro.core.classify constants).
+MEMBER_FALSE, MEMBER_TRUE, MEMBER_UNKNOWN = 0, 1, 2
+
+
+@dataclass
+class GroupValue:
+    """One group's published state in a block output.
+
+    Besides the aggregate values, a group carries its *membership* state
+    for consumers that join against the block: plain aggregate blocks
+    publish every group as a member, while filtered views (HAVING /
+    IN-subquery sides) classify membership against variation ranges —
+    ``MEMBER_TRUE``/``MEMBER_FALSE`` are stable decisions, and
+    ``MEMBER_UNKNOWN`` groups expose their current point decision and the
+    per-bootstrap-trial decisions.
+    """
+
+    key: GroupKey
+    #: column name -> UncertainValue (aggregates) or scalar (group keys).
+    values: dict[str, object]
+    #: The group contains at least one tuple without tuple uncertainty, so
+    #: its existence is settled (the AGGREGATE ``u#`` rule of Section 4.1).
+    certain: bool
+    #: Range-classified membership: MEMBER_TRUE / MEMBER_FALSE / MEMBER_UNKNOWN.
+    member_status: int = MEMBER_TRUE
+    #: Current point decision of the membership predicate.
+    member_point: bool = True
+    #: Per-bootstrap-trial existence/membership (None = all trials).
+    exist_trials: np.ndarray | None = None
+
+    def exist_in_trial(self, num_trials: int) -> np.ndarray:
+        if self.exist_trials is None:
+            return np.ones(num_trials, dtype=bool)
+        return self.exist_trials
+
+    @property
+    def certainly_in(self) -> bool:
+        return self.certain and self.member_status == MEMBER_TRUE
+
+    @property
+    def certainly_out(self) -> bool:
+        return self.member_status == MEMBER_FALSE
+
+
+class BlockOutput:
+    """The (small) current output relation of a lineage block."""
+
+    def __init__(self, block_id: int, key_cols: list[str], value_cols: list[str]):
+        self.block_id = block_id
+        self.key_cols = key_cols
+        self.value_cols = value_cols
+        self.groups: dict[GroupKey, GroupValue] = {}
+        #: Keys first published this batch (delta of the block boundary).
+        self.new_keys: list[GroupKey] = []
+
+    def get(self, key: GroupKey) -> GroupValue | None:
+        return self.groups.get(key)
+
+    def publish(self, group: GroupValue, is_new: bool) -> None:
+        self.groups[group.key] = group
+        if is_new:
+            self.new_keys.append(group.key)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def estimated_bytes(self) -> int:
+        if not self.groups:
+            return 0
+        sample = next(iter(self.groups.values()))
+        per_group = 32
+        for v in sample.values.values():
+            per_group += 8
+            if isinstance(v, UncertainValue):
+                per_group += 8 * len(v.trials)
+        return per_group * len(self.groups)
+
+
+@dataclass
+class OnlineConfig:
+    """Tunable knobs of an online execution (paper Sections 5, 7, 8.4)."""
+
+    #: Bootstrap trials used for error estimation / variation ranges.
+    num_trials: int = 100
+    #: Slack parameter ε of the variation-range estimator.
+    slack: float = 2.0
+    #: OPT1 — tuple-uncertainty partitioning via variation ranges. Off =
+    #: the conservative Section 4 algorithm (everything touched by an
+    #: uncertain predicate stays non-deterministic forever).
+    prune_with_ranges: bool = True
+    #: OPT2 — lineage propagation + lazy evaluation. Off = regenerate
+    #: non-deterministic tuples from their source rows through the full
+    #: upstream operator chain every batch.
+    lazy_lineage: bool = True
+    #: RNG seed for partitioning and bootstrap draws.
+    seed: int = 0
+
+
+class RuntimeContext:
+    """Mutable per-execution state threaded through all online operators."""
+
+    def __init__(
+        self,
+        statics: Catalog,
+        streamed_table: str,
+        total_rows: int,
+        config: OnlineConfig,
+    ):
+        self.statics = statics
+        self.streamed_table = streamed_table
+        self.total_rows = total_rows
+        self.config = config
+        self.monitor = RangeMonitor(slack=config.slack, enabled=config.prune_with_ranges)
+        self.blocks: dict[int, BlockOutput] = {}
+        self.batch_no = 0
+        self.seen_rows = 0
+        self.metrics: BatchMetrics = BatchMetrics(0)
+        self._delta: Relation | None = None
+        #: True while replaying batches during failure recovery: range
+        #: observations neither check integrity nor tighten ranges.
+        self.replaying = False
+
+    # -- per-batch lifecycle -------------------------------------------------------
+
+    def begin_batch(
+        self, batch_no: int, delta: Relation, metrics: BatchMetrics
+    ) -> None:
+        """Install this batch's streamed delta (tagging bootstrap trials)."""
+        self.batch_no = batch_no
+        self.metrics = metrics
+        trials = trial_multiplicities(
+            len(delta),
+            self.config.num_trials,
+            self.config.seed,
+            self.streamed_table,
+            batch_no,
+        )
+        self._delta = delta.with_mult(delta.mult, trials)
+        self.seen_rows += len(delta)
+        metrics.new_tuples += len(delta)
+
+    @property
+    def delta(self) -> Relation:
+        if self._delta is None:
+            raise ReproError("no delta installed; call begin_batch first")
+        return self._delta
+
+    @property
+    def scale(self) -> float:
+        """The extrapolation factor ``m_i = |D| / |D_i|``."""
+        if self.seen_rows == 0:
+            return 1.0
+        return self.total_rows / self.seen_rows
+
+    @property
+    def num_trials(self) -> int:
+        return self.config.num_trials
+
+    # -- lineage resolution (Section 6.2's broadcast-join lookup) -------------------
+
+    def block(self, block_id: int) -> BlockOutput:
+        try:
+            return self.blocks[block_id]
+        except KeyError:
+            raise ReproError(f"block {block_id} has not published output yet") from None
+
+    def resolve(self, ref: LineageRef) -> object | None:
+        """Current value of a lineage reference (None if group unseen)."""
+        output = self.blocks.get(ref.block_id)
+        if output is None:
+            return None
+        group = output.groups.get(ref.key)
+        if group is None:
+            return None
+        return group.values.get(ref.column)
+
+    def reset_for_replay(self) -> None:
+        """Clear published block outputs before a recovery replay."""
+        self.blocks.clear()
+        self.seen_rows = 0
+        self.batch_no = 0
+        self._delta = None

@@ -1,0 +1,251 @@
+"""Range-based predicate classification (Sections 5.1–5.2).
+
+Given rows whose columns may hold uncertain values (either
+:class:`~repro.core.values.UncertainValue` cells or
+:class:`~repro.core.values.LineageRef` cells resolved against the block
+registry), a comparison ``x ϑ y`` splits its input into:
+
+* ``TRUE``  — ``R(x)`` and ``R(y)`` ordered so the predicate holds for
+  every possible value: the row is *near-deterministically selected*;
+* ``FALSE`` — ordered the other way: near-deterministically filtered;
+* ``UNKNOWN`` — ranges overlap: the row joins the non-deterministic set
+  ``U_i`` and must be re-evaluated each batch;
+* ``PENDING`` — a lineage reference points at a group that no block has
+  published yet, so the row cannot be evaluated at all this batch.
+
+For UNKNOWN rows the classifier also produces the *current* decision
+(from point estimates, defining this batch's partial result) and the
+per-bootstrap-trial decisions (from trial values, which keep the
+piggybacked bootstrap faithful: trial ``j`` filters with trial ``j``'s
+inner aggregate, as if the whole simulated database were re-run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocks import RuntimeContext
+from repro.core.values import LineageRef, UncertainValue
+from repro.errors import UnsupportedQueryError
+from repro.relational.expressions import Col, Comparison, Expression
+from repro.relational.relation import Relation
+
+TRUE, FALSE, UNKNOWN, PENDING = np.int8(1), np.int8(0), np.int8(2), np.int8(3)
+
+
+@dataclass
+class SideValues:
+    """Evaluated values of one side of a comparison, for every row."""
+
+    lo: np.ndarray  # (n,) lower range bounds
+    hi: np.ndarray  # (n,) upper range bounds
+    point: np.ndarray  # (n,) current estimates
+    trials: np.ndarray | None  # (n, T); None means "equal to point"
+    pending: np.ndarray  # (n,) bool: unresolvable lineage refs
+    #: Block cells whose ranges these values derive from (for arming).
+    refs: set = None  # type: ignore[assignment]
+
+    def trial_matrix(self, num_trials: int) -> np.ndarray:
+        if self.trials is not None:
+            return self.trials
+        return np.repeat(self.point[:, None], num_trials, axis=1)
+
+
+@dataclass
+class ClassifyResult:
+    """Classification of one conjunct (or a conjunction) over n rows."""
+
+    status: np.ndarray  # (n,) int8 in {TRUE, FALSE, UNKNOWN, PENDING}
+    point: np.ndarray  # (n,) bool current decision
+    trials: np.ndarray | None  # (n, T) bool per-trial decision
+
+    def trial_matrix(self, num_trials: int) -> np.ndarray:
+        if self.trials is not None:
+            return self.trials
+        return np.repeat(self.point[:, None], num_trials, axis=1)
+
+
+def evaluate_side(
+    expr: Expression,
+    rel: Relation,
+    uncertain_cols: set[str],
+    ctx: RuntimeContext,
+) -> SideValues:
+    """Evaluate one comparison side, with ranges and trials."""
+    n = len(rel)
+    touched = expr.attrs() & uncertain_cols
+    if not touched:
+        vals = np.asarray(expr.evaluate(rel), dtype=np.float64)
+        return SideValues(vals, vals, vals, None, np.zeros(n, dtype=bool), set())
+
+    if isinstance(expr, Col):
+        return _resolve_column(rel.column(expr.name), n, ctx)
+
+    # General path: per-row evaluation with UncertainValue arithmetic.
+    lo = np.empty(n)
+    hi = np.empty(n)
+    point = np.empty(n)
+    trials = np.empty((n, ctx.num_trials))
+    pending = np.zeros(n, dtype=bool)
+    refs: set = set()
+    cache: dict[object, object] = {}
+    for i in range(n):
+        row = rel.row(i)
+        bad = False
+        for name in touched:
+            cell = row[name]
+            resolved = _resolve_cell(cell, ctx, cache)
+            if resolved is None:
+                bad = True
+                break
+            row[name] = resolved
+        if bad:
+            pending[i] = True
+            lo[i] = hi[i] = point[i] = np.nan
+            trials[i] = np.nan
+            continue
+        value = expr.evaluate_row(row)
+        if isinstance(value, UncertainValue):
+            lo[i], hi[i] = value.vrange.lo, value.vrange.hi
+            point[i] = value.value
+            trials[i] = value.trials
+            refs.update(value.sources)
+        else:
+            lo[i] = hi[i] = point[i] = float(value)  # type: ignore[arg-type]
+            trials[i] = float(value)  # type: ignore[arg-type]
+    return SideValues(lo, hi, point, trials, pending, refs)
+
+
+def _resolve_column(
+    column: np.ndarray, n: int, ctx: RuntimeContext
+) -> SideValues:
+    """Fast path: a bare uncertain column of refs / uncertain values."""
+    lo = np.empty(n)
+    hi = np.empty(n)
+    point = np.empty(n)
+    trials = np.empty((n, ctx.num_trials))
+    pending = np.zeros(n, dtype=bool)
+    refs: set = set()
+    cache: dict[object, object] = {}
+    for i in range(n):
+        value = _resolve_cell(column[i], ctx, cache)
+        if value is None:
+            pending[i] = True
+            lo[i] = hi[i] = point[i] = np.nan
+            trials[i] = np.nan
+        elif isinstance(value, UncertainValue):
+            lo[i], hi[i] = value.vrange.lo, value.vrange.hi
+            point[i] = value.value
+            trials[i] = value.trials
+            refs.update(value.sources)
+        else:
+            lo[i] = hi[i] = point[i] = float(value)
+            trials[i] = float(value)
+    return SideValues(lo, hi, point, trials, pending, refs)
+
+
+def _resolve_cell(
+    cell: object, ctx: RuntimeContext, cache: dict[object, object]
+) -> object | None:
+    """Resolve a cell to a concrete (possibly uncertain) value."""
+    if isinstance(cell, LineageRef):
+        if cell in cache:
+            return cache[cell]
+        resolved = ctx.resolve(cell)
+        cache[cell] = resolved
+        return resolved
+    return cell
+
+
+def classify_comparison(
+    cmp: Comparison,
+    rel: Relation,
+    uncertain_cols: set[str],
+    ctx: RuntimeContext,
+) -> ClassifyResult:
+    """Classify one comparison conjunct over all rows of ``rel``."""
+    left = evaluate_side(cmp.left, rel, uncertain_cols, ctx)
+    right = evaluate_side(cmp.right, rel, uncertain_cols, ctx)
+    n = len(rel)
+    op = cmp.op
+
+    if op in (">", ">="):
+        always = left.lo > right.hi if op == ">" else left.lo >= right.hi
+        never = left.hi <= right.lo if op == ">" else left.hi < right.lo
+    elif op in ("<", "<="):
+        always = left.hi < right.lo if op == "<" else left.hi <= right.lo
+        never = left.lo >= right.hi if op == "<" else left.lo > right.hi
+    elif op == "==":
+        always = (left.lo == left.hi) & (right.lo == right.hi) & (left.lo == right.lo)
+        never = (left.hi < right.lo) | (right.hi < left.lo)
+    elif op == "!=":
+        never = (left.lo == left.hi) & (right.lo == right.hi) & (left.lo == right.lo)
+        always = (left.hi < right.lo) | (right.hi < left.lo)
+    else:  # pragma: no cover - Comparison validates its operator
+        raise UnsupportedQueryError(f"cannot classify comparison {op!r}")
+
+    status = np.full(n, UNKNOWN, dtype=np.int8)
+    status[always] = TRUE
+    status[never] = FALSE
+    pending = left.pending | right.pending
+    status[pending] = PENDING
+
+    point = _compare(op, left.point, right.point)
+    point[pending] = False
+    trials: np.ndarray | None = None
+    if np.any(status == UNKNOWN):
+        lt = left.trial_matrix(ctx.num_trials)
+        rt = right.trial_matrix(ctx.num_trials)
+        trials = _compare(op, lt, rt)
+        trials[pending] = False
+    return ClassifyResult(status, point, trials)
+
+
+def _compare(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    with np.errstate(invalid="ignore"):
+        if op == ">":
+            return a > b
+        if op == ">=":
+            return a >= b
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == "==":
+            return a == b
+        return a != b
+
+
+def combine_conjuncts(results: list[ClassifyResult], num_trials: int) -> ClassifyResult:
+    """AND together per-conjunct classifications.
+
+    A row is FALSE if any conjunct is stably false (drop forever), PENDING
+    if any conjunct cannot be evaluated, UNKNOWN if any conjunct is
+    unresolved, TRUE only when every conjunct is stably true.
+    """
+    if len(results) == 1:
+        return results[0]
+    status = results[0].status.copy()
+    point = results[0].point.copy()
+    trials = None
+    for r in results[1:]:
+        point &= r.point
+        status = _combine_status(status, r.status)
+    if np.any(status == UNKNOWN):
+        trials = results[0].trial_matrix(num_trials).copy()
+        for r in results[1:]:
+            trials &= r.trial_matrix(num_trials)
+    return ClassifyResult(status, point, trials)
+
+
+def _combine_status(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.full(len(a), TRUE, dtype=np.int8)
+    unknown = (a == UNKNOWN) | (b == UNKNOWN)
+    out[unknown] = UNKNOWN
+    pending = (a == PENDING) | (b == PENDING)
+    out[pending] = PENDING
+    false = (a == FALSE) | (b == FALSE)
+    out[false] = FALSE
+    return out

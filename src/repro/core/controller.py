@@ -1,0 +1,191 @@
+"""The query controller (Section 7, module 3) — iOLAP's public entry point.
+
+Partitions the streamed input into mini-batches, schedules the compiled
+delta query on each batch, collects partial results with error estimates,
+monitors variation-range integrity, and runs the failure-recovery replay
+when a check fails.
+
+Typical use::
+
+    engine = OnlineQueryEngine(catalog, streamed_table="sessions")
+    for partial in engine.run(plan, num_batches=20):
+        print(partial.batch_no, partial.to_plain_rows(),
+              partial.max_relative_stdev())
+        if partial.max_relative_stdev() < 0.02:
+            break    # the user is satisfied — stop any time
+
+The final partial result (all batches consumed) equals the exact answer
+of the batch evaluator on the full dataset (Theorem 1), which the test
+suite verifies query by query.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+from repro.batching.partitioner import Partitioner
+from repro.core.blocks import OnlineConfig, RuntimeContext
+from repro.core.compiler import CompiledQuery, compile_online
+from repro.core.result import PartialResult
+from repro.core.values import UncertainValue
+from repro.errors import RangeIntegrityError, ReproError
+from repro.metrics.stats import BatchMetrics, RunMetrics
+from repro.relational.algebra import PlanNode
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+
+#: Safety valve: recoveries per run before pruning is disabled outright.
+_MAX_RECOVERIES = 8
+
+
+class OnlineQueryEngine:
+    """Runs queries online over one streamed table, batch by batch."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        streamed_table: str,
+        config: OnlineConfig | None = None,
+        partition_mode: str = "shuffle",
+    ):
+        self.catalog = catalog
+        self.streamed_table = streamed_table
+        self.config = config if config is not None else OnlineConfig()
+        self.partitioner = Partitioner(mode=partition_mode, seed=self.config.seed)
+        #: Metrics of the most recent (or in-progress) run.
+        self.metrics = RunMetrics()
+
+    def run(
+        self,
+        plan: PlanNode,
+        num_batches: int,
+        batch_rows: int | None = None,
+    ) -> Iterator[PartialResult]:
+        """Execute ``plan`` online; yields one partial result per batch."""
+        streamed = self.catalog.get(self.streamed_table)
+        if batch_rows is not None:
+            from repro.batching.partitioner import num_batches_for
+
+            num_batches = num_batches_for(len(streamed), batch_rows)
+        batches = self.partitioner.partition(streamed, num_batches)
+
+        compiled = compile_online(plan, self.catalog, self.streamed_table)
+        ctx = RuntimeContext(
+            self.catalog, self.streamed_table, len(streamed), self.config
+        )
+        self.metrics = RunMetrics()
+
+        for i, delta in enumerate(batches, start=1):
+            bm = self.metrics.start_batch(i)
+            started = time.perf_counter()
+            self._process_batch(compiled, ctx, batches, i, delta, bm)
+            bm.wall_seconds = time.perf_counter() - started
+            yield self._make_result(compiled, ctx, i, len(batches), bm)
+
+    def run_to_completion(
+        self, plan: PlanNode, num_batches: int
+    ) -> PartialResult:
+        """Convenience: run all batches, return the final (exact) result."""
+        last: PartialResult | None = None
+        for last in self.run(plan, num_batches):
+            pass
+        if last is None:
+            raise ReproError("streamed table is empty")
+        return last
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _process_batch(
+        self,
+        compiled: CompiledQuery,
+        ctx: RuntimeContext,
+        batches: list[Relation],
+        batch_no: int,
+        delta: Relation,
+        bm: BatchMetrics,
+    ) -> None:
+        for attempt in range(_MAX_RECOVERIES + 1):
+            try:
+                ctx.begin_batch(batch_no, delta, bm)
+                for unit in compiled.units:
+                    unit.run(ctx)
+                return
+            except RangeIntegrityError as failure:
+                bm.recovered = True
+                if attempt == _MAX_RECOVERIES:
+                    # Last resort: conservative mode (no pruning) is always
+                    # correct; replay once more without ranges.
+                    ctx.monitor.enabled = False
+                self._replay(
+                    compiled, ctx, batches, batch_no, failure.recover_from_batch, bm
+                )
+
+    def _replay(
+        self,
+        compiled: CompiledQuery,
+        ctx: RuntimeContext,
+        batches: list[Relation],
+        failed_batch: int,
+        recover_from: int,
+        bm: BatchMetrics,
+    ) -> None:
+        """Failure recovery (Section 5.1): rebuild all operator state by
+        replaying the processed batches conservatively.
+
+        During the replay the monitor publishes unbounded ranges, so no
+        pruning happens and no sentinels are created — the rebuilt state
+        is unconditionally correct. The failed batch is then re-processed
+        live: pruning resumes with fresh ranges, whose sentinels are
+        recorded from the *current* estimates and therefore cannot flip
+        within the same batch, guaranteeing recovery terminates.
+        """
+        started = time.perf_counter()
+        ctx.monitor.replaying = True
+        ctx.monitor.reset()
+        compiled.reset()
+        ctx.reset_for_replay()
+        scratch = BatchMetrics(0)
+        saved = ctx.metrics
+        try:
+            for b in range(1, failed_batch):
+                ctx.begin_batch(b, batches[b - 1], scratch)
+                for unit in compiled.units:
+                    unit.run(ctx)
+        finally:
+            ctx.metrics = saved
+            ctx.monitor.replaying = False
+        bm.recovery_seconds += time.perf_counter() - started
+
+    def _make_result(
+        self,
+        compiled: CompiledQuery,
+        ctx: RuntimeContext,
+        batch_no: int,
+        num_batches: int,
+        bm: BatchMetrics,
+    ) -> PartialResult:
+        rows = []
+        names = compiled.result_schema.names
+        for urow in compiled.current_rows(ctx):
+            rows.append({name: urow.values[name] for name in names})
+        is_final = batch_no == num_batches
+        if is_final:
+            rows = [_finalize_row(r) for r in rows]
+        return PartialResult(
+            batch_no=batch_no,
+            num_batches=num_batches,
+            fraction_processed=ctx.seen_rows / max(ctx.total_rows, 1),
+            schema=compiled.result_schema,
+            rows=rows,
+            metrics=bm,
+            is_final=is_final,
+        )
+
+
+def _finalize_row(row: dict[str, object]) -> dict[str, object]:
+    """At the final batch estimates are exact; collapse them to scalars."""
+    return {
+        k: (v.value if isinstance(v, UncertainValue) else v)
+        for k, v in row.items()
+    }

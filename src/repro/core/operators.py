@@ -1,0 +1,972 @@
+"""Online operator implementations (Sections 4.2, 5.2, 6.2).
+
+These operators form the *stream pipelines* of a compiled online query:
+the incremental dataflow over the streamed fact table. Each operator
+consumes and produces a :class:`DeltaBatch` per mini-batch:
+
+* ``certain`` — rows emitted *permanently* this batch. Their multiplicity
+  can only be confirmed, never revoked (modulo failure recovery), so
+  downstream aggregates fold them into sketches and forget them.
+* ``volatile`` — the full current contribution of non-deterministic rows,
+  recomputed every batch. Downstream operators recompute whatever depends
+  on them, which is exactly the recomputation iOLAP's optimizations keep
+  small.
+
+Row-level bootstrap state rides along as the relation's ``mult`` (current
+point decision) and ``trial_mults`` (per-trial decisions), so a single
+mechanism covers both partial-result semantics and error estimation.
+
+State kept between batches follows the paper's delta-update principle:
+tuple uncertainty is resolved as early as possible (SELECT/JOIN
+non-deterministic stores, re-classified each batch against variation
+ranges), attribute uncertainty as late as possible (lineage references
+resolved lazily at use sites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blocks import BlockOutput, GroupKey, GroupValue, RuntimeContext
+from repro.core.classify import (
+    FALSE,
+    PENDING,
+    TRUE,
+    UNKNOWN,
+    ClassifyResult,
+    classify_comparison,
+    combine_conjuncts,
+    evaluate_side,
+)
+from repro.core.sentinels import MembershipSentinels, SentinelStore
+from repro.core.sketch import AggBundle
+from repro.core.values import LineageRef, UncertainValue
+from repro.errors import UnsupportedQueryError
+from repro.relational.aggregates import AggSpec
+from repro.relational.algebra import Project
+from repro.relational.evaluator import join_relations, project_relation
+from repro.relational.expressions import Comparison, Expression
+from repro.relational.groupby import group_ids
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@dataclass
+class DeltaBatch:
+    """Per-batch dataflow message between online operators."""
+
+    certain: Relation
+    volatile: Relation
+
+    @property
+    def total_rows(self) -> int:
+        return len(self.certain) + len(self.volatile)
+
+
+def empty_relation(schema: Schema, uncertain_cols: set[str], num_trials: int) -> Relation:
+    """Empty relation whose uncertain columns use object dtype (refs)."""
+    cols = {}
+    for c in schema:
+        dtype = np.dtype(object) if c.name in uncertain_cols else c.ctype.dtype
+        cols[c.name] = np.empty(0, dtype=dtype)
+    return Relation(
+        schema, cols, np.empty(0), np.empty((0, num_trials), dtype=np.float64)
+    )
+
+
+class SpineOp:
+    """Base class of online operators in a stream pipeline."""
+
+    def __init__(self, label: str, schema: Schema, uncertain_cols: set[str]):
+        self.label = label
+        self.schema = schema
+        self.uncertain_cols = set(uncertain_cols)
+
+    def process(self, ctx: RuntimeContext) -> DeltaBatch:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop all inter-batch state (used by failure recovery)."""
+
+    def record_state(self, ctx: RuntimeContext) -> None:
+        """Report current state footprint into the batch metrics."""
+
+    def empty(self, ctx: RuntimeContext) -> Relation:
+        return empty_relation(self.schema, self.uncertain_cols, ctx.num_trials)
+
+
+class ScanOp(SpineOp):
+    """Leaf of a stream pipeline: this batch's delta of the streamed table."""
+
+    def __init__(self, table: str, schema: Schema):
+        super().__init__(f"scan:{table}", schema, set())
+        self.table = table
+
+    def process(self, ctx: RuntimeContext) -> DeltaBatch:
+        return DeltaBatch(ctx.delta, self.empty(ctx))
+
+
+class FilterOp(SpineOp):
+    """SELECT with a fully deterministic predicate — pure delta rule."""
+
+    def __init__(self, child: SpineOp, predicate: Expression):
+        super().__init__(f"filter:{id(predicate):x}", child.schema, child.uncertain_cols)
+        self.child = child
+        self.predicate = predicate
+
+    def process(self, ctx: RuntimeContext) -> DeltaBatch:
+        inp = self.child.process(ctx)
+        return DeltaBatch(
+            _filter_det(inp.certain, self.predicate),
+            _filter_det(inp.volatile, self.predicate),
+        )
+
+    def reset(self) -> None:
+        self.child.reset()
+
+    def record_state(self, ctx: RuntimeContext) -> None:
+        self.child.record_state(ctx)
+
+
+def _filter_det(rel: Relation, predicate: Expression) -> Relation:
+    if len(rel) == 0:
+        return rel
+    mask = np.asarray(predicate.evaluate(rel), dtype=bool)
+    return rel.filter(mask)
+
+
+class ProjectOp(SpineOp):
+    """PROJECT over a stream. Uncertain columns may only pass through
+    unchanged (computation over uncertain attributes is deferred to the
+    use sites — the lazy-evaluation principle)."""
+
+    def __init__(self, child: SpineOp, node: Project, schema: Schema):
+        uncertain_out = set()
+        from repro.relational.expressions import Col
+
+        for name, expr in node.outputs:
+            touched = expr.attrs() & child.uncertain_cols
+            if touched:
+                if not isinstance(expr, Col):
+                    raise UnsupportedQueryError(
+                        f"projection {name!r} computes over uncertain columns "
+                        f"{sorted(touched)}; move the computation into the "
+                        "consuming predicate or aggregate (lazy evaluation)"
+                    )
+                uncertain_out.add(name)
+        super().__init__(f"project:{node.node_id}", schema, uncertain_out)
+        self.child = child
+        self.node = node
+
+    def process(self, ctx: RuntimeContext) -> DeltaBatch:
+        inp = self.child.process(ctx)
+        return DeltaBatch(self._project(inp.certain), self._project(inp.volatile))
+
+    def _project(self, rel: Relation) -> Relation:
+        cols: dict[str, np.ndarray] = {}
+        for (name, expr), column in zip(self.node.outputs, self.schema):
+            values = expr.evaluate(rel)
+            if name in self.uncertain_cols:
+                cols[name] = np.asarray(values, dtype=object)
+            else:
+                cols[name] = np.asarray(values, dtype=column.ctype.dtype)
+        return Relation(self.schema, cols, rel.mult, rel.trial_mults)
+
+    def reset(self) -> None:
+        self.child.reset()
+
+    def record_state(self, ctx: RuntimeContext) -> None:
+        self.child.record_state(ctx)
+
+
+class RenameOp(SpineOp):
+    def __init__(self, child: SpineOp, mapping: dict[str, str], schema: Schema):
+        renamed = {mapping.get(c, c) for c in child.uncertain_cols}
+        super().__init__("rename", schema, renamed)
+        self.child = child
+        self.mapping = mapping
+
+    def process(self, ctx: RuntimeContext) -> DeltaBatch:
+        inp = self.child.process(ctx)
+        return DeltaBatch(
+            inp.certain.rename(self.mapping), inp.volatile.rename(self.mapping)
+        )
+
+    def reset(self) -> None:
+        self.child.reset()
+
+    def record_state(self, ctx: RuntimeContext) -> None:
+        self.child.record_state(ctx)
+
+
+class UnionOp(SpineOp):
+    def __init__(self, left: SpineOp, right: SpineOp):
+        super().__init__("union", left.schema, left.uncertain_cols | right.uncertain_cols)
+        self.left = left
+        self.right = right
+
+    def process(self, ctx: RuntimeContext) -> DeltaBatch:
+        a = self.left.process(ctx)
+        b = self.right.process(ctx)
+        return DeltaBatch(a.certain.concat(b.certain), a.volatile.concat(b.volatile))
+
+    def reset(self) -> None:
+        self.left.reset()
+        self.right.reset()
+
+    def record_state(self, ctx: RuntimeContext) -> None:
+        self.left.record_state(ctx)
+        self.right.record_state(ctx)
+
+
+class StaticEmitOp(SpineOp):
+    """Emits a precomputed static relation once, at the first batch.
+
+    Used for the static branch of a UNION with a stream: the static rows
+    are all certain and appear exactly once.
+    """
+
+    def __init__(self, relation: Relation, label: str = "static"):
+        super().__init__(label, relation.schema, set())
+        self.relation = relation
+        self._emitted = False
+
+    def process(self, ctx: RuntimeContext) -> DeltaBatch:
+        if self._emitted:
+            return DeltaBatch(self.empty(ctx), self.empty(ctx))
+        self._emitted = True
+        return DeltaBatch(self.relation, self.empty(ctx))
+
+    def reset(self) -> None:
+        self._emitted = False
+
+
+class StaticJoinOp(SpineOp):
+    """JOIN of the stream with a static (dimension) side.
+
+    The paper's JOIN state rule: when only the fact table is streamed, the
+    operator state is just the dimension side, kept in memory from batch 1
+    (and reported as join state for the Figure 9(b) accounting).
+    """
+
+    def __init__(
+        self,
+        child: SpineOp,
+        side: Relation,
+        keys: list[tuple[str, str]],
+        schema: Schema,
+        stream_is_left: bool,
+        node_id: int,
+    ):
+        super().__init__(f"join:{node_id}", schema, child.uncertain_cols)
+        self.child = child
+        self.side = side
+        self.keys = keys
+        self.stream_is_left = stream_is_left
+        self._announced = False
+
+    def process(self, ctx: RuntimeContext) -> DeltaBatch:
+        inp = self.child.process(ctx)
+        if not self._announced:
+            # Broadcasting the dimension table is a one-time shipping cost.
+            ctx.metrics.shipped_bytes += self.side.estimated_bytes()
+            self._announced = True
+        return DeltaBatch(self._join(inp.certain), self._join(inp.volatile))
+
+    def _join(self, rel: Relation) -> Relation:
+        if self.stream_is_left:
+            return join_relations(rel, self.side, self.keys)
+        flipped = [(rk, lk) for lk, rk in self.keys]
+        joined = join_relations(self.side, rel, flipped)
+        return _reorder_columns(joined, self.schema)
+
+    def reset(self) -> None:
+        self.child.reset()
+        self._announced = False
+
+    def record_state(self, ctx: RuntimeContext) -> None:
+        ctx.metrics.add_state(self.label, self.side.estimated_bytes())
+        self.child.record_state(ctx)
+
+
+def _reorder_columns(rel: Relation, schema: Schema) -> Relation:
+    """Project columns into the compiler's expected order, tolerating the
+    key-drop asymmetry of flipped joins."""
+    cols = {name: rel.columns[name] for name in schema.names}
+    return Relation(schema, cols, rel.mult, rel.trial_mults)
+
+
+class UncertainFilterOp(SpineOp):
+    """SELECT whose predicate touches uncertain attributes (Section 5.2).
+
+    Maintains the non-deterministic store ``U_i``; classifies new rows and
+    re-classifies the store against current variation ranges each batch.
+    Rows resolve to TRUE (emitted permanently), FALSE (dropped forever),
+    or stay non-deterministic and contribute to the volatile output with
+    their current point decision and per-trial decisions.
+    """
+
+    def __init__(
+        self,
+        child: SpineOp,
+        det_conjuncts: list[Expression],
+        uncertain_conjuncts: list[Comparison],
+        node_id: int,
+    ):
+        super().__init__(f"select:{node_id}", child.schema, child.uncertain_cols)
+        self.child = child
+        self.det_conjuncts = det_conjuncts
+        self.uncertain_conjuncts = uncertain_conjuncts
+        self.nd_store: Relation | None = None
+        self.sentinels = SentinelStore(uncertain_conjuncts, set(child.uncertain_cols))
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _classify(
+        self, rel: Relation, ctx: RuntimeContext
+    ) -> tuple[ClassifyResult, list[ClassifyResult]]:
+        results = [
+            classify_comparison(cmp, rel, self.uncertain_cols, ctx)
+            for cmp in self.uncertain_conjuncts
+        ]
+        return combine_conjuncts(results, ctx.num_trials), results
+
+    def _record_sentinels(
+        self,
+        rel: Relation,
+        combined: ClassifyResult,
+        per_conjunct: list[ClassifyResult],
+    ) -> None:
+        """Guard every permanent action with a sentinel (see sentinels.py).
+
+        Emitted rows needed ALL conjuncts stably true; dropped rows needed
+        the specific conjuncts that were stably false."""
+        emitted = np.flatnonzero(combined.status == TRUE)
+        dropped = combined.status == FALSE
+        for idx, res in enumerate(per_conjunct):
+            if len(emitted):
+                self.sentinels.record(
+                    idx, rel, emitted, np.ones(len(emitted), dtype=bool)
+                )
+            conj_false = np.flatnonzero(dropped & (res.status == FALSE))
+            if len(conj_false):
+                self.sentinels.record(
+                    idx, rel, conj_false, np.zeros(len(conj_false), dtype=bool)
+                )
+
+    def _apply_det(self, rel: Relation) -> Relation:
+        for pred in self.det_conjuncts:
+            rel = _filter_det(rel, pred)
+        return rel
+
+    # -- processing ---------------------------------------------------------------
+
+    def process(self, ctx: RuntimeContext) -> DeltaBatch:
+        inp = self.child.process(ctx)
+        new_rows = self._apply_det(inp.certain)
+        vol_in = self._apply_det(inp.volatile)
+
+        if not ctx.config.lazy_lineage and self.nd_store is not None:
+            # OPT2 off: regenerate cached rows from scratch — re-run the
+            # deterministic conjuncts over the store as well, modelling the
+            # re-execution of the upstream chain for each cached tuple.
+            self.nd_store = self._apply_det(
+                Relation(
+                    self.nd_store.schema,
+                    {n: a.copy() for n, a in self.nd_store.columns.items()},
+                    self.nd_store.mult.copy(),
+                    None
+                    if self.nd_store.trial_mults is None
+                    else self.nd_store.trial_mults.copy(),
+                )
+            )
+
+        # Integrity: every previously pruned decision must still hold for
+        # the current estimates; a flip triggers failure recovery.
+        self.sentinels.check(ctx)
+
+        res_new, per_new = self._classify(new_rows, ctx)
+        self._record_sentinels(new_rows, res_new, per_new)
+
+        store = self.nd_store if self.nd_store is not None else self.empty(ctx)
+        ctx.metrics.recomputed_tuples += len(store) + len(vol_in)
+        if len(store):
+            res_old, per_old = self._classify(store, ctx)
+            self._record_sentinels(store, res_old, per_old)
+        else:
+            res_old = None
+
+        certain_parts = [new_rows.filter(res_new.status == TRUE)]
+        keep_new = new_rows.filter(
+            (res_new.status == UNKNOWN) | (res_new.status == PENDING)
+        )
+        masks_new = _subset_masks(res_new, (res_new.status == UNKNOWN) | (res_new.status == PENDING), ctx)
+
+        if res_old is not None:
+            certain_parts.append(store.filter(res_old.status == TRUE))
+            undecided = (res_old.status == UNKNOWN) | (res_old.status == PENDING)
+            keep_old = store.filter(undecided)
+            masks_old = _subset_masks(res_old, undecided, ctx)
+        else:
+            keep_old = self.empty(ctx)
+            masks_old = None
+
+        self.nd_store = keep_old.concat(keep_new)
+
+        volatile_parts = []
+        if len(keep_old) and masks_old is not None:
+            volatile_parts.append(_mask_contribution(keep_old, masks_old))
+        if len(keep_new):
+            volatile_parts.append(_mask_contribution(keep_new, masks_new))
+        if len(vol_in):
+            res_vol, _ = self._classify(vol_in, ctx)
+            volatile_parts.append(
+                _mask_contribution(vol_in, (res_vol.point, res_vol.trial_matrix(ctx.num_trials)))
+            )
+
+        certain = certain_parts[0]
+        for part in certain_parts[1:]:
+            certain = certain.concat(part)
+        volatile = self.empty(ctx)
+        for part in volatile_parts:
+            volatile = volatile.concat(part)
+        return DeltaBatch(certain, volatile)
+
+    def reset(self) -> None:
+        self.nd_store = None
+        self.sentinels.reset()
+        self.child.reset()
+
+    def record_state(self, ctx: RuntimeContext) -> None:
+        nbytes = self.sentinels.estimated_bytes()
+        if self.nd_store is not None:
+            nbytes += self.nd_store.estimated_bytes()
+        ctx.metrics.add_state(self.label, nbytes)
+        self.child.record_state(ctx)
+
+
+def _subset_masks(
+    res: ClassifyResult, keep: np.ndarray, ctx: RuntimeContext
+) -> tuple[np.ndarray, np.ndarray]:
+    return res.point[keep], res.trial_matrix(ctx.num_trials)[keep]
+
+
+def _mask_contribution(
+    rel: Relation, masks: tuple[np.ndarray, np.ndarray]
+) -> Relation:
+    """Volatile contribution of ND rows: zero out failed decisions."""
+    point, trials = masks
+    mult = rel.mult * point
+    trial_mults = (
+        rel.trial_mults * trials
+        if rel.trial_mults is not None
+        else rel.mult[:, None] * trials
+    )
+    keep = point | trials.any(axis=1)
+    return Relation(
+        rel.schema,
+        {n: a[keep] for n, a in rel.columns.items()},
+        mult[keep],
+        trial_mults[keep],
+    )
+
+
+class UncertainJoinOp(SpineOp):
+    """JOIN of the stream with an uncertain small side (a lineage-block
+    boundary, Section 6).
+
+    Each stream row looks up its group in the side view and attaches the
+    side's columns — uncertain ones as :class:`LineageRef` so their values
+    stay lazily up to date, deterministic ones by value. Rows whose group
+    membership is unresolved form this operator's non-deterministic store;
+    rows whose group has not been published at all wait in the pending
+    store (re-tried every batch).
+    """
+
+    def __init__(
+        self,
+        child: SpineOp,
+        side_id: int,
+        stream_keys: list[str],
+        attach_cols: list[tuple[str, bool]],
+        schema: Schema,
+        node_id: int,
+    ):
+        uncertain = child.uncertain_cols | {
+            name for name, is_uncertain in attach_cols if is_uncertain
+        }
+        super().__init__(f"join:{node_id}", schema, uncertain)
+        self.child = child
+        self.side_id = side_id
+        self.stream_keys = stream_keys
+        self.attach_cols = attach_cols
+        self.nd_store: Relation | None = None
+        self.pending: Relation | None = None
+        self.member_sentinels = MembershipSentinels()
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _keys_of(self, rel: Relation) -> list[GroupKey]:
+        if not self.stream_keys:
+            return [() for _ in range(len(rel))]
+        return rel.key_tuples(self.stream_keys)
+
+    def _attach(self, rel: Relation, groups: list[GroupValue]) -> Relation:
+        """Append side columns for rows whose group is known."""
+        n = len(rel)
+        cols = dict(rel.columns)
+        for name, is_uncertain in self.attach_cols:
+            if is_uncertain:
+                arr = np.empty(n, dtype=object)
+                for i, g in enumerate(groups):
+                    arr[i] = LineageRef(self.side_id, g.key, name)
+            else:
+                arr = np.empty(n, dtype=self.schema.type_of(name).dtype)
+                for i, g in enumerate(groups):
+                    arr[i] = g.values[name]
+            cols[name] = arr
+        return Relation(self.schema, cols, rel.mult, rel.trial_mults)
+
+    def _partition_new(
+        self,
+        rel: Relation,
+        view: BlockOutput | None,
+        ctx: RuntimeContext,
+        record: bool = False,
+    ) -> tuple[Relation, Relation, Relation]:
+        """Split incoming certain rows into (certain-out, nd, pending).
+
+        With ``record=True`` (permanent actions: the certain input path),
+        every stable membership decision leaves a sentinel so later flips
+        trigger recovery."""
+        n = len(rel)
+        if n == 0:
+            return self._empty_out(ctx), self._empty_out(ctx), rel
+        keys = self._keys_of(rel)
+        status = np.empty(n, dtype=np.int8)
+        groups: list[GroupValue | None] = [None] * n
+        for i, key in enumerate(keys):
+            group = view.get(key) if view is not None else None
+            groups[i] = group
+            if group is None:
+                status[i] = PENDING
+            elif group.certainly_in:
+                status[i] = TRUE
+                if record:
+                    self.member_sentinels.record(key, True)
+            elif group.certainly_out:
+                status[i] = FALSE
+                if record:
+                    self.member_sentinels.record(key, False)
+            else:
+                status[i] = UNKNOWN
+        sure = status == TRUE
+        unknown = status == UNKNOWN
+        waiting = status == PENDING
+        certain_out = self._attach(
+            rel.filter(sure), [g for g, s in zip(groups, sure) if s]
+        )
+        nd = self._attach(
+            rel.filter(unknown), [g for g, s in zip(groups, unknown) if s]
+        )
+        return certain_out, nd, rel.filter(waiting)
+
+    def _volatile_of(self, rel: Relation, ctx: RuntimeContext) -> Relation:
+        """Current contribution of attached-but-unresolved rows."""
+        view = ctx.blocks.get(self.side_id)
+        n = len(rel)
+        if n == 0 or view is None:
+            return self._empty_out(ctx)
+        keys = self._keys_of(rel)
+        point = np.zeros(n, dtype=bool)
+        trials = np.zeros((n, ctx.num_trials), dtype=bool)
+        for i, key in enumerate(keys):
+            group = view.get(key)
+            if group is None:
+                continue
+            point[i] = group.member_point
+            trials[i] = group.exist_in_trial(ctx.num_trials)
+        return _mask_contribution(rel, (point, trials))
+
+    def _empty_out(self, ctx: RuntimeContext) -> Relation:
+        return empty_relation(self.schema, self.uncertain_cols, ctx.num_trials)
+
+    # -- processing -----------------------------------------------------------------
+
+    def process(self, ctx: RuntimeContext) -> DeltaBatch:
+        view = ctx.blocks.get(self.side_id)
+        # Integrity: previously resolved memberships must not have flipped.
+        self.member_sentinels.check(ctx, view)
+        inp = self.child.process(ctx)
+
+        certain_new, nd_new, pending_new = self._partition_new(
+            inp.certain, view, ctx, record=True
+        )
+
+        # Retry rows that were waiting for their group to be published.
+        if self.pending is not None and len(self.pending):
+            ctx.metrics.recomputed_tuples += len(self.pending)
+            certain_retry, nd_retry, still_pending = self._partition_new(
+                self.pending, view, ctx, record=True
+            )
+            certain_new = certain_new.concat(certain_retry)
+            nd_new = nd_new.concat(nd_retry)
+            self.pending = still_pending.concat(pending_new)
+        else:
+            self.pending = pending_new
+
+        # Re-examine the non-deterministic store against fresh membership.
+        nd_old = self.nd_store if self.nd_store is not None else self._empty_out(ctx)
+        ctx.metrics.recomputed_tuples += len(nd_old)
+        if not ctx.config.lazy_lineage and len(nd_old) and view is not None:
+            # OPT2 off: regenerate cached tuples instead of updating them
+            # in place — re-do the join lookup and rebuild every attached
+            # column for the whole store (the paper's "re-generating the
+            # tuple from scratch" cost that lineage + lazy evaluation
+            # avoids).
+            groups = [view.get(key) for key in self._keys_of(nd_old)]
+            keep = np.array(
+                [g is not None for g in groups], dtype=bool
+            )
+            nd_old = self._attach(
+                nd_old.filter(keep), [g for g in groups if g is not None]
+            )
+        if len(nd_old) and view is not None:
+            keys = self._keys_of(nd_old)
+            status = np.empty(len(nd_old), dtype=np.int8)
+            for i, key in enumerate(keys):
+                group = view.get(key)
+                if group is None:
+                    status[i] = UNKNOWN
+                elif group.certainly_in:
+                    status[i] = TRUE
+                    self.member_sentinels.record(key, True)
+                elif group.certainly_out:
+                    status[i] = FALSE
+                    self.member_sentinels.record(key, False)
+                else:
+                    status[i] = UNKNOWN
+            certain_new = certain_new.concat(nd_old.filter(status == TRUE))
+            nd_old = nd_old.filter(status == UNKNOWN)
+        self.nd_store = nd_old.concat(nd_new)
+
+        volatile = self._volatile_of(self.nd_store, ctx)
+        if len(inp.volatile):
+            vol_view = ctx.blocks.get(self.side_id)
+            v_certain, v_nd, _ = self._partition_new(inp.volatile, vol_view, ctx)
+            # Upstream volatile rows are never stored here; they contribute
+            # whatever their current membership allows.
+            volatile = volatile.concat(v_certain)
+            volatile = volatile.concat(self._volatile_of(v_nd, ctx))
+        return DeltaBatch(certain_new, volatile)
+
+    def reset(self) -> None:
+        self.nd_store = None
+        self.pending = None
+        self.member_sentinels.reset()
+        self.child.reset()
+
+    def record_state(self, ctx: RuntimeContext) -> None:
+        nbytes = self.member_sentinels.estimated_bytes()
+        if self.nd_store is not None:
+            nbytes += self.nd_store.estimated_bytes()
+        if self.pending is not None:
+            nbytes += self.pending.estimated_bytes()
+        if nbytes:
+            ctx.metrics.add_state(self.label, nbytes)
+        self.child.record_state(ctx)
+
+
+class AggregateOp(SpineOp):
+    """Online AGGREGATE (Section 4.2's state rules + Section 5's pruning).
+
+    Certain input rows with deterministic aggregate arguments fold into
+    per-group per-trial sketches and are forgotten. Rows whose argument is
+    uncertain go to a row store and are lazily re-evaluated each batch
+    through their lineage references; volatile input rows are re-aggregated
+    from scratch each batch (they are few — that is the point). The
+    combined result is published as this lineage block's output.
+    """
+
+    def __init__(
+        self,
+        child: SpineOp,
+        group_by: list[str],
+        specs: list[AggSpec],
+        schema: Schema,
+        block_id: int,
+        sample_weighted: bool,
+    ):
+        super().__init__(f"aggregate:{block_id}", schema, set())
+        self.child = child
+        self.group_by = group_by
+        self.specs = specs
+        self.block_id = block_id
+        self.sample_weighted = sample_weighted
+
+        self.sketch_specs: list[AggSpec] = []
+        self.lazy_specs: list[AggSpec] = []
+        self.holistic_specs: list[AggSpec] = []
+        for spec in specs:
+            arg_uncertain = bool(spec.attrs() & child.uncertain_cols)
+            if arg_uncertain and not spec.func.decomposable:
+                raise UnsupportedQueryError(
+                    f"aggregate {spec.name!r}: holistic UDAF over an "
+                    "uncertain argument is not supported online"
+                )
+            if arg_uncertain:
+                if spec.func.num_features != 1:
+                    raise UnsupportedQueryError(
+                        f"aggregate {spec.name!r} over an uncertain argument "
+                        "requires a single identity feature (SUM/AVG-style)"
+                    )
+                self.lazy_specs.append(spec)
+            elif spec.func.decomposable:
+                self.sketch_specs.append(spec)
+            else:
+                self.holistic_specs.append(spec)
+
+        self.sketch = AggBundle(self.sketch_specs, 0)  # re-created on first batch
+        self._sketch_ready = False
+        self.row_store: Relation | None = None
+        self.certain_groups: set[GroupKey] = set()
+        self._published_keys: set[GroupKey] = set()
+        self._tombstones: dict[GroupKey, GroupValue] = {}
+
+    @property
+    def needs_row_store(self) -> bool:
+        return bool(self.lazy_specs or self.holistic_specs)
+
+    def process(self, ctx: RuntimeContext) -> DeltaBatch:
+        if not self._sketch_ready:
+            self.sketch = AggBundle(self.sketch_specs, ctx.num_trials)
+            self._sketch_ready = True
+            if not self.group_by:
+                # A scalar aggregate always yields one row, even if no
+                # input ever arrives (COUNT -> 0, AVG -> NaN) — matching
+                # the batch evaluator.
+                self.sketch._ensure_groups([()])
+                self.certain_groups.add(())
+        inp = self.child.process(ctx)
+        cin, vin = inp.certain, inp.volatile
+        ctx.metrics.shipped_bytes += cin.estimated_bytes() + vin.estimated_bytes()
+
+        self.sketch.fold(cin, self.group_by)
+        if self.needs_row_store and len(cin):
+            store = self.row_store
+            self.row_store = cin if store is None else store.concat(cin)
+        if len(cin):
+            self.certain_groups.update(
+                cin.key_tuples(self.group_by) if self.group_by else [()]
+            )
+
+        volatile_bundle = None
+        if len(vin):
+            ctx.metrics.recomputed_tuples += len(vin)
+            volatile_bundle = AggBundle.from_relation(
+                vin, self.group_by, self.sketch_specs, ctx.num_trials
+            )
+        combined = self.sketch.merged_with(volatile_bundle)
+
+        scale = ctx.scale if self.sample_weighted else 1.0
+        per_group: dict[GroupKey, dict[str, object]] = {}
+        exist_trials: dict[GroupKey, np.ndarray] = {}
+        exist_point: dict[GroupKey, bool] = {}
+        g = len(combined)
+        finals = [combined.finalize(s, scale) for s in range(len(self.sketch_specs))]
+        trial_weight = combined.trial_weight[:g]
+        weight = combined.weight[:g]
+        for gi, key in enumerate(combined.keys):
+            vals: dict[str, object] = {}
+            for s, spec in enumerate(self.sketch_specs):
+                vals[spec.name] = (finals[s][0][gi], finals[s][1][gi])
+            per_group[key] = vals
+            exist_trials[key] = trial_weight[gi] > 0
+            exist_point[key] = bool(weight[gi] > 0)
+
+        if self.lazy_specs or self.holistic_specs:
+            self._add_lazy_and_holistic(
+                ctx, vin, scale, per_group, exist_trials, exist_point
+            )
+
+        self._publish(ctx, per_group, exist_trials, exist_point)
+        return DeltaBatch(self.empty(ctx), self.empty(ctx))
+
+    # -- lazy / holistic paths ---------------------------------------------------------
+
+    def _lazy_input(self, ctx: RuntimeContext, vin: Relation) -> Relation:
+        store = self.row_store
+        if store is None:
+            return vin
+        return store.concat(vin) if len(vin) else store
+
+    def _add_lazy_and_holistic(
+        self,
+        ctx: RuntimeContext,
+        vin: Relation,
+        scale: float,
+        per_group: dict[GroupKey, dict[str, object]],
+        exist_trials: dict[GroupKey, np.ndarray],
+        exist_point: dict[GroupKey, bool],
+    ) -> None:
+        rows = self._lazy_input(ctx, vin)
+        ctx.metrics.recomputed_tuples += len(rows)
+        keys = rows.key_tuples(self.group_by) if self.group_by else [()] * len(rows)
+        trial_w = (
+            rows.trial_mults
+            if rows.trial_mults is not None
+            else np.repeat(rows.mult[:, None], ctx.num_trials, axis=1)
+        )
+        for spec in self.lazy_specs:
+            side = evaluate_side(spec.arg, rows, self.child.uncertain_cols, ctx)
+            ok = ~side.pending
+            bundle = AggBundle([spec], ctx.num_trials)
+            bundle.fold_values(
+                [k for k, good in zip(keys, ok) if good],
+                0,
+                side.point[ok],
+                side.trial_matrix(ctx.num_trials)[ok],
+                rows.mult[ok],
+                trial_w[ok],
+            )
+            values, trial_values = bundle.finalize(0, scale)
+            for gi, key in enumerate(bundle.keys):
+                vals = per_group.setdefault(key, {})
+                vals[spec.name] = (values[gi], trial_values[gi])
+                exist_trials.setdefault(key, bundle.trial_weight[gi] > 0)
+                exist_point.setdefault(key, bool(bundle.weight[gi] > 0))
+        for spec in self.holistic_specs:
+            values_arr = spec.arg_values(rows)
+            by_group: dict[GroupKey, list[int]] = {}
+            for i, key in enumerate(keys):
+                by_group.setdefault(key, []).append(i)
+            for key, idx in by_group.items():
+                ix = np.asarray(idx, dtype=np.intp)
+                point = spec.func.compute(values_arr[ix], rows.mult[ix]) * (
+                    scale if spec.func.scales_with_m else 1.0
+                )
+                trials = np.empty(ctx.num_trials)
+                for j in range(ctx.num_trials):
+                    trials[j] = spec.func.compute(values_arr[ix], trial_w[ix, j])
+                if spec.func.scales_with_m:
+                    trials = trials * scale
+                vals = per_group.setdefault(key, {})
+                vals[spec.name] = (point, trials)
+                exist_trials.setdefault(key, trial_w[ix].sum(axis=0) > 0)
+                exist_point.setdefault(key, bool(rows.mult[ix].sum() > 0))
+
+    # -- publishing ------------------------------------------------------------------
+
+    def _publish(
+        self,
+        ctx: RuntimeContext,
+        per_group: dict[GroupKey, dict[str, object]],
+        exist_trials: dict[GroupKey, np.ndarray],
+        exist_point: dict[GroupKey, bool],
+    ) -> None:
+        value_cols = [s.name for s in self.specs]
+        output = BlockOutput(self.block_id, self.group_by, value_cols)
+        for key, raw in per_group.items():
+            values: dict[str, object] = {}
+            for gi, col_name in enumerate(self.group_by):
+                values[col_name] = key[gi]
+            for spec in self.specs:
+                point, trials = raw[spec.name]  # type: ignore[misc]
+                vrange = ctx.monitor.observe(
+                    (self.block_id, key, spec.name), ctx.batch_no, float(point), trials
+                )
+                values[spec.name] = UncertainValue(
+                    float(point),
+                    trials,
+                    vrange,
+                    LineageRef(self.block_id, key, spec.name),
+                )
+            certain = key in self.certain_groups
+            group = GroupValue(
+                key,
+                values,
+                certain,
+                member_point=certain or exist_point.get(key, True),
+                exist_trials=None if certain else exist_trials.get(key),
+            )
+            output.publish(group, is_new=key not in self._published_keys)
+            self._published_keys.add(key)
+        # Groups that vanished (all their volatile contributors currently
+        # excluded) stay visible with empty existence, so downstream
+        # lineage references keep resolving.
+        for key in self._published_keys - set(per_group):
+            tomb = self._tombstones.get(key)
+            if tomb is None:
+                values = {c: k for c, k in zip(self.group_by, key)}
+                for spec in self.specs:
+                    values[spec.name] = UncertainValue(
+                        float("nan"),
+                        np.full(ctx.num_trials, np.nan),
+                        lineage=LineageRef(self.block_id, key, spec.name),
+                    )
+                tomb = GroupValue(
+                    key,
+                    values,
+                    certain=False,
+                    member_point=False,
+                    exist_trials=np.zeros(ctx.num_trials, dtype=bool),
+                )
+                self._tombstones[key] = tomb
+            output.groups[key] = tomb
+        ctx.blocks[self.block_id] = output
+
+    def reset(self) -> None:
+        self._sketch_ready = False
+        self.row_store = None
+        self.certain_groups = set()
+        self._published_keys = set()
+        self._tombstones = {}
+        self.child.reset()
+
+    def record_state(self, ctx: RuntimeContext) -> None:
+        nbytes = self.sketch.estimated_bytes()
+        if self.row_store is not None:
+            nbytes += self.row_store.estimated_bytes()
+        ctx.metrics.add_state(self.label, nbytes)
+        self.child.record_state(ctx)
+
+
+class RowSinkOp(SpineOp):
+    """Virtual SINK for aggregate-free pipelines (plain SPJ queries).
+
+    Accumulates permanently emitted rows; the current result is the
+    accumulation plus this batch's volatile contribution.
+    """
+
+    def __init__(self, child: SpineOp):
+        super().__init__("sink", child.schema, child.uncertain_cols)
+        self.child = child
+        self.accumulated: Relation | None = None
+        self.current_volatile: Relation | None = None
+
+    def process(self, ctx: RuntimeContext) -> DeltaBatch:
+        inp = self.child.process(ctx)
+        if self.accumulated is None:
+            self.accumulated = inp.certain
+        else:
+            self.accumulated = self.accumulated.concat(inp.certain)
+        self.current_volatile = inp.volatile
+        return DeltaBatch(inp.certain, inp.volatile)
+
+    def result(self, ctx: RuntimeContext) -> Relation:
+        acc = self.accumulated if self.accumulated is not None else self.empty(ctx)
+        if self.current_volatile is None or len(self.current_volatile) == 0:
+            return acc
+        return acc.concat(self.current_volatile)
+
+    def reset(self) -> None:
+        self.accumulated = None
+        self.current_volatile = None
+        self.child.reset()
+
+    def record_state(self, ctx: RuntimeContext) -> None:
+        if self.accumulated is not None:
+            ctx.metrics.add_state(self.label, self.accumulated.estimated_bytes())
+        self.child.record_state(ctx)

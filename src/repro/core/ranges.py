@@ -1,0 +1,80 @@
+"""Variation ranges and integrity failure bookkeeping (Section 5.1).
+
+The :class:`RangeMonitor` publishes, for every uncertain cell at a
+lineage-block boundary, the paper's variation-range estimate
+
+``R(u) = [min(û) − ε·σ(û), max(û) + ε·σ(û)]``
+
+hulled with the running point estimate (whose side classification's point
+decisions depend on) and guarded against degenerate bootstraps (see
+:meth:`VariationRange.from_trials`). Classifiers prune near-deterministic
+tuples against these ranges.
+
+Integrity of the pruning decisions is enforced where the decisions live:
+each online operator records a *sentinel* for every decision it resolved
+(the det-side value and the expected outcome) and re-checks the tightest
+sentinels against the current point estimates every batch
+(:mod:`repro.core.sentinels`). A violated sentinel raises
+:class:`~repro.errors.RangeIntegrityError`; the controller then rebuilds
+all operator state by replaying the processed batches conservatively
+(ranges frozen to "everything" → no pruning during the replay), after
+which pruning resumes with fresh ranges. This protects exactly the
+Theorem-1 property — the delivered partial result equals ``Q(D_i)`` —
+while avoiding spurious recoveries for cells whose ranges are never used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.values import VariationRange
+
+#: Identifies one uncertain cell: (block id, group key tuple, column name).
+CellKey = tuple[int, tuple, str]
+
+
+class RangeMonitor:
+    """Publishes variation ranges and counts integrity failures."""
+
+    def __init__(self, slack: float = 2.0, enabled: bool = True):
+        self.slack = slack
+        self.enabled = enabled
+        #: Count of integrity failures observed (drives Figure 9(d)).
+        self.failures = 0
+        #: While True (failure-recovery replay), published ranges are
+        #: unbounded, so no pruning happens — which is what makes the
+        #: replay unconditionally correct and recovery terminate.
+        self.replaying = False
+        self._current: dict[CellKey, VariationRange] = {}
+
+    def observe(
+        self, key: CellKey, batch_no: int, value: float, trials: np.ndarray
+    ) -> VariationRange:
+        """Publish this batch's range for one cell.
+
+        With the monitor disabled (OPT1 off) or during a recovery replay,
+        every cell keeps the unbounded range, so range-based pruning
+        degenerates to "never prune".
+        """
+        if not self.enabled or self.replaying:
+            return VariationRange.everything()
+        fresh = VariationRange.from_trials(trials, self.slack)
+        if np.isfinite(value):
+            fresh = VariationRange(min(fresh.lo, value), max(fresh.hi, value))
+        self._current[key] = fresh
+        return fresh
+
+    def range_for(self, key: CellKey) -> VariationRange:
+        if not self.enabled or self.replaying:
+            return VariationRange.everything()
+        return self._current.get(key, VariationRange.everything())
+
+    def record_failure(self) -> None:
+        self.failures += 1
+
+    def reset(self) -> None:
+        """Drop published ranges (used before a recovery replay)."""
+        self._current.clear()
+
+    def __len__(self) -> int:
+        return len(self._current)

@@ -1,0 +1,258 @@
+"""Sentinels: operator-level integrity guards for pruned decisions.
+
+When an online operator resolves a tuple near-deterministically (Section
+5.1's set ``C_i``), that tuple leaves the operator's state forever: it is
+either folded into downstream sketches (stable TRUE) or dropped (stable
+FALSE). Theorem 1 then rests on the resolved decision never flipping.
+
+The variation-range estimate can be wrong, so each operator records a
+*sentinel* per resolved decision: the deterministic comparison value and
+the expected outcome, keyed by the uncertain entity the decision compared
+against (the lineage cells of its uncertain side). Only the *tightest*
+sentinel per direction needs keeping — if the closest resolved value
+still classifies the same way, every farther one does too. Each batch the
+operator re-evaluates its sentinels against the current point estimates;
+a flip raises :class:`~repro.errors.RangeIntegrityError` and the
+controller replays conservatively.
+
+This is the loosest sound check: it fails exactly when a pruned tuple's
+contribution to the current partial result would have changed, rather
+than whenever a range drifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.blocks import RuntimeContext
+from repro.core.values import LineageRef, UncertainValue, point_of
+from repro.errors import RangeIntegrityError
+from repro.relational.expressions import Comparison, Expression
+
+#: Identity of the uncertain side of one resolved decision: the raw
+#: lineage cells it compared against (hashable).
+Entity = tuple
+
+
+@dataclass
+class _ConjunctSentinels:
+    """Sentinels of one uncertain conjunct, keyed by entity."""
+
+    #: entity -> (tightest det value resolved TRUE, ref row)
+    true_side: dict[Entity, float] = field(default_factory=dict)
+    #: entity -> (tightest det value resolved FALSE, ref row)
+    false_side: dict[Entity, float] = field(default_factory=dict)
+    #: entity -> ref cells by column (to re-evaluate the uncertain side)
+    ref_rows: dict[Entity, dict[str, object]] = field(default_factory=dict)
+
+
+def _tighter(op: str, expected: bool, old: float, new: float) -> float:
+    """The binding (hardest to keep satisfied) of two resolved det values."""
+    if op in (">", ">="):
+        # det > unc resolved TRUE: smallest det value is binding;
+        # resolved FALSE (det <= unc): largest det value is binding.
+        return min(old, new) if expected else max(old, new)
+    if op in ("<", "<="):
+        return max(old, new) if expected else min(old, new)
+    return new  # ==/!=: keep the most recent
+
+
+class SentinelStore:
+    """All sentinels of one online operator."""
+
+    def __init__(self, conjuncts: list[Comparison], uncertain_cols: set[str]):
+        self.conjuncts = conjuncts
+        self.uncertain_cols = uncertain_cols
+        self._per_conjunct = [_ConjunctSentinels() for _ in conjuncts]
+        # Compile: which side is deterministic; which uncertain columns
+        # each conjunct touches (entity identity).
+        self._sides: list[tuple[Expression | None, Expression | None, list[str]]] = []
+        for cmp_ in conjuncts:
+            left_u = bool(cmp_.left.attrs() & uncertain_cols)
+            right_u = bool(cmp_.right.attrs() & uncertain_cols)
+            cols = sorted(cmp_.attrs() & uncertain_cols)
+            if left_u and right_u:
+                self._sides.append((None, None, cols))
+            elif right_u:
+                self._sides.append((cmp_.left, cmp_.right, cols))
+            else:
+                self._sides.append((cmp_.right, cmp_.left, cols))
+
+    def __len__(self) -> int:
+        return sum(
+            len(c.true_side) + len(c.false_side) for c in self._per_conjunct
+        )
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(
+        self,
+        conjunct_idx: int,
+        rel,
+        row_indices: np.ndarray,
+        expected: np.ndarray,
+    ) -> None:
+        """Record sentinels for rows just resolved by conjunct ``conjunct_idx``.
+
+        ``row_indices`` are positions in ``rel``; ``expected`` the resolved
+        boolean per row.
+        """
+        det_expr, unc_expr, cols = self._sides[conjunct_idx]
+        store = self._per_conjunct[conjunct_idx]
+        cmp_ = self.conjuncts[conjunct_idx]
+        op = cmp_.op if det_expr is cmp_.left or det_expr is None else _flip(cmp_.op)
+        det_values = (
+            np.asarray(det_expr.evaluate(rel), dtype=np.float64)
+            if det_expr is not None
+            else None
+        )
+        columns = {c: rel.columns[c] for c in cols}
+        for i, exp in zip(row_indices, expected):
+            entity = tuple(columns[c][i] for c in cols)
+            store.ref_rows.setdefault(
+                entity, {c: columns[c][i] for c in cols}
+            )
+            d = float(det_values[i]) if det_values is not None else 0.0
+            side = store.true_side if exp else store.false_side
+            if entity in side:
+                side[entity] = _tighter(op, bool(exp), side[entity], d)
+            else:
+                side[entity] = d
+
+    # -- checking -------------------------------------------------------------------
+
+    def check(self, ctx: RuntimeContext) -> None:
+        """Re-evaluate all tightest sentinels against current estimates."""
+        for idx, store in enumerate(self._per_conjunct):
+            if not store.ref_rows:
+                continue
+            det_expr, unc_expr, cols = self._sides[idx]
+            cmp_ = self.conjuncts[idx]
+            for entity, refs in store.ref_rows.items():
+                resolved = self._resolve_row(refs, ctx)
+                for expected, side in (
+                    (True, store.true_side),
+                    (False, store.false_side),
+                ):
+                    if entity not in side:
+                        continue
+                    if resolved is None:
+                        raise self._violation(ctx, "entity vanished")
+                    outcome = self._evaluate(cmp_, det_expr, side[entity], resolved)
+                    if outcome != expected:
+                        raise self._violation(
+                            ctx,
+                            f"resolved decision flipped: {cmp_!r} expected "
+                            f"{expected} for det value {side[entity]!r}",
+                        )
+
+    def _resolve_row(
+        self, refs: dict[str, object], ctx: RuntimeContext
+    ) -> dict[str, object] | None:
+        out: dict[str, object] = {}
+        for col_name, cell in refs.items():
+            value = ctx.resolve(cell) if isinstance(cell, LineageRef) else cell
+            if value is None:
+                return None
+            out[col_name] = value
+        return out
+
+    def _evaluate(
+        self,
+        cmp_: Comparison,
+        det_expr: Expression | None,
+        det_value: float,
+        resolved: dict[str, object],
+    ) -> bool:
+        if det_expr is None:
+            # Both sides uncertain: re-evaluate both on the ref row.
+            left = point_of_safe(cmp_.left.evaluate_row(resolved))
+            right = point_of_safe(cmp_.right.evaluate_row(resolved))
+            return bool(_compare(cmp_.op, left, right))
+        unc = point_of_safe(
+            (cmp_.right if det_expr is cmp_.left else cmp_.left).evaluate_row(resolved)
+        )
+        if det_expr is cmp_.left:
+            return bool(_compare(cmp_.op, det_value, unc))
+        return bool(_compare(cmp_.op, unc, det_value))
+
+    def _violation(self, ctx: RuntimeContext, reason: str) -> RangeIntegrityError:
+        ctx.monitor.record_failure()
+        return RangeIntegrityError(
+            f"sentinel violation at batch {ctx.batch_no}: {reason}",
+            recover_from_batch=0,
+        )
+
+    def reset(self) -> None:
+        self._per_conjunct = [_ConjunctSentinels() for _ in self.conjuncts]
+
+    def estimated_bytes(self) -> int:
+        total = 0
+        for store in self._per_conjunct:
+            total += 64 * (len(store.true_side) + len(store.false_side))
+            total += 96 * len(store.ref_rows)
+        return total
+
+
+class MembershipSentinels:
+    """Sentinels for resolved join-side membership decisions.
+
+    The uncertain join emits or drops stream tuples permanently once a
+    side group's membership is stable. The sentinel per group is simply
+    the expected membership; a flip of the group's current point
+    membership invalidates those emissions.
+    """
+
+    def __init__(self) -> None:
+        self.expected: dict[tuple, bool] = {}
+
+    def record(self, key: tuple, member: bool) -> None:
+        self.expected.setdefault(key, member)
+
+    def check(self, ctx: RuntimeContext, view) -> None:
+        for key, expected in self.expected.items():
+            group = view.get(key) if view is not None else None
+            actual = group is not None and group.member_point
+            if actual != expected:
+                ctx.monitor.record_failure()
+                raise RangeIntegrityError(
+                    f"membership of group {key!r} flipped (expected "
+                    f"{expected}) at batch {ctx.batch_no}",
+                    recover_from_batch=0,
+                )
+
+    def reset(self) -> None:
+        self.expected.clear()
+
+    def __len__(self) -> int:
+        return len(self.expected)
+
+    def estimated_bytes(self) -> int:
+        return 48 * len(self.expected)
+
+
+def point_of_safe(value: object) -> float:
+    if isinstance(value, UncertainValue):
+        return value.value
+    return float(value)  # type: ignore[arg-type]
+
+
+def _compare(op: str, a: float, b: float) -> bool:
+    with np.errstate(invalid="ignore"):
+        if op == ">":
+            return a > b
+        if op == ">=":
+            return a >= b
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == "==":
+            return a == b
+        return a != b
+
+
+def _flip(op: str) -> str:
+    return {"==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]

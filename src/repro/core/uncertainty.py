@@ -1,0 +1,192 @@
+"""Static uncertainty propagation analysis (Section 4.1).
+
+Given a logical plan and the set of streamed tables, this pass computes
+for every plan node the paper's compile-time uncertainty tags:
+
+* ``tuple_uncertain`` — whether tuples in the node's output can change
+  their multiplicity in later batches (``u#`` may be ``T``);
+* ``uncertain_cols`` — output columns whose values can change
+  (``uA`` may be ``T``);
+* ``sample_weighted`` — whether the node's rows are a uniform sample of
+  the eventual full output, so aggregates above it must extrapolate
+  SUM/COUNT-style results by ``m_i``;
+* ``raw_stream`` — whether the node's rows derive row-for-row from a
+  streamed scan *without* an intervening aggregate (used to reject
+  stream-stream joins, which the paper does not stream).
+
+The pass also enforces the supported-query restrictions of Section 3.3:
+no uncertain join or group-by keys ("approximate keys under sampling"),
+and only Hadamard-differentiable aggregate functions over sampled data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnsupportedQueryError
+from repro.relational.algebra import (
+    Aggregate,
+    Distinct,
+    Join,
+    PlanNode,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Union,
+)
+
+
+@dataclass(frozen=True)
+class NodeTags:
+    """Compile-time uncertainty annotation of one plan node's output."""
+
+    tuple_uncertain: bool
+    uncertain_cols: frozenset[str]
+    sample_weighted: bool
+    raw_stream: bool
+
+    @property
+    def deterministic(self) -> bool:
+        return not self.tuple_uncertain and not self.uncertain_cols
+
+
+STATIC_TAGS = NodeTags(False, frozenset(), False, False)
+
+
+def analyze(
+    plan: PlanNode, streamed_tables: set[str]
+) -> dict[int, NodeTags]:
+    """Tag every node in ``plan``; returns ``{node_id: NodeTags}``.
+
+    Raises :class:`UnsupportedQueryError` for queries outside the online
+    engine's supported class.
+    """
+    tags: dict[int, NodeTags] = {}
+    _tag(plan, streamed_tables, tags)
+    return tags
+
+
+def _tag(
+    node: PlanNode, streamed: set[str], tags: dict[int, NodeTags]
+) -> NodeTags:
+    result = _tag_inner(node, streamed, tags)
+    tags[node.node_id] = result
+    return result
+
+
+def _tag_inner(
+    node: PlanNode, streamed: set[str], tags: dict[int, NodeTags]
+) -> NodeTags:
+    if isinstance(node, Scan):
+        if node.table in streamed:
+            # Streamed leaf: all attributes deterministic, multiplicities
+            # follow the accumulated sampling function s(t; i).
+            return NodeTags(True, frozenset(), True, True)
+        return STATIC_TAGS
+
+    if isinstance(node, Select):
+        child = _tag(node.child, streamed, tags)
+        touches_uncertain = bool(node.predicate.attrs() & child.uncertain_cols)
+        return NodeTags(
+            child.tuple_uncertain or touches_uncertain,
+            child.uncertain_cols,
+            child.sample_weighted,
+            child.raw_stream,
+        )
+
+    if isinstance(node, Project):
+        child = _tag(node.child, streamed, tags)
+        out_uncertain = frozenset(
+            name
+            for name, expr in node.outputs
+            if expr.attrs() & child.uncertain_cols
+        )
+        return NodeTags(
+            child.tuple_uncertain,
+            out_uncertain,
+            child.sample_weighted,
+            child.raw_stream,
+        )
+
+    if isinstance(node, Rename):
+        child = _tag(node.child, streamed, tags)
+        renamed = frozenset(
+            node.mapping.get(c, c) for c in child.uncertain_cols
+        )
+        return NodeTags(
+            child.tuple_uncertain, renamed, child.sample_weighted, child.raw_stream
+        )
+
+    if isinstance(node, Join):
+        left = _tag(node.left, streamed, tags)
+        right = _tag(node.right, streamed, tags)
+        for lk, rk in node.keys:
+            if lk in left.uncertain_cols or rk in right.uncertain_cols:
+                raise UnsupportedQueryError(
+                    f"join key {lk!r}={rk!r} is uncertain under sampling; "
+                    "approximate join keys are not supported (Section 3.3)"
+                )
+        if left.raw_stream and right.raw_stream:
+            raise UnsupportedQueryError(
+                "both join inputs stream the raw fact table; stream only one "
+                "input relation and read the others in entirety (Section 2)"
+            )
+        kept_right = right.uncertain_cols - set(node.right_keys)
+        return NodeTags(
+            left.tuple_uncertain or right.tuple_uncertain,
+            left.uncertain_cols | kept_right,
+            left.sample_weighted or right.sample_weighted,
+            left.raw_stream or right.raw_stream,
+        )
+
+    if isinstance(node, Union):
+        left = _tag(node.left, streamed, tags)
+        right = _tag(node.right, streamed, tags)
+        return NodeTags(
+            left.tuple_uncertain or right.tuple_uncertain,
+            left.uncertain_cols | right.uncertain_cols,
+            left.sample_weighted or right.sample_weighted,
+            left.raw_stream or right.raw_stream,
+        )
+
+    if isinstance(node, Aggregate):
+        child = _tag(node.child, streamed, tags)
+        for g in node.group_by:
+            if g in child.uncertain_cols:
+                raise UnsupportedQueryError(
+                    f"group-by key {g!r} is uncertain under sampling; "
+                    "approximate group-by keys are not supported (Section 3.3)"
+                )
+        agg_uncertain: set[str] = set()
+        for spec in node.aggs:
+            input_changes = (
+                child.tuple_uncertain
+                or child.sample_weighted
+                or bool(spec.attrs() & child.uncertain_cols)
+            )
+            if input_changes and not spec.func.hadamard_differentiable:
+                raise UnsupportedQueryError(
+                    f"aggregate {spec.func.name.upper()} is not Hadamard "
+                    "differentiable and cannot be approximated under "
+                    "sampling (Section 3.3)"
+                )
+            if input_changes:
+                agg_uncertain.add(spec.name)
+        # A group's multiplicity is uncertain only if every contributing
+        # tuple is uncertain; statically that collapses to "the input has
+        # tuple uncertainty at all" (new groups may still appear).
+        return NodeTags(
+            child.tuple_uncertain, frozenset(agg_uncertain), False, False
+        )
+
+    if isinstance(node, Distinct):
+        child = _tag(node.child, streamed, tags)
+        for c in node.columns:
+            if c in child.uncertain_cols:
+                raise UnsupportedQueryError(
+                    f"distinct over uncertain column {c!r} is not supported"
+                )
+        return NodeTags(child.tuple_uncertain, frozenset(), False, False)
+
+    raise UnsupportedQueryError(f"cannot analyze node {type(node).__name__}")

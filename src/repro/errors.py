@@ -1,0 +1,61 @@
+"""Exception hierarchy for the iOLAP reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class. Sub-classes mirror the
+subsystems: schema/typing problems, SQL front-end problems, unsupported
+online-query shapes, and variation-range integrity failures (which are
+normally handled internally by the query controller's recovery path, but
+are also part of the public API for users driving the engine manually).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation, row, or expression does not match the declared schema."""
+
+
+class ExpressionError(ReproError):
+    """An expression is malformed or applied to incompatible operands."""
+
+
+class PlanError(ReproError):
+    """A logical plan is structurally invalid (schema mismatch, bad keys...)."""
+
+
+class SQLError(ReproError):
+    """The SQL front-end could not lex, parse, or plan a statement."""
+
+
+class UnsupportedQueryError(ReproError):
+    """The query falls outside the class supported by the online engine.
+
+    Mirrors the paper's Section 3.3: positive relational algebra only, no
+    approximate join/group-by keys under sampling, and aggregate functions
+    must be Hadamard differentiable (so MIN/MAX are rejected online even
+    though the batch evaluator supports them).
+    """
+
+
+class RangeIntegrityError(ReproError):
+    """A variation-range integrity check failed (Section 5.1).
+
+    Raised by :class:`repro.core.ranges.RangeMonitor` when a new batch's
+    bootstrap outputs escape the previously published variation range. The
+    query controller catches this and replays from the last consistent
+    batch; it only propagates to users running operators by hand.
+    """
+
+    def __init__(self, message: str, recover_from_batch: int = 0):
+        super().__init__(message)
+        #: Last batch index whose published range still contains the new
+        #: range; recovery replays from ``recover_from_batch + 1``.
+        self.recover_from_batch = recover_from_batch
+
+
+class CatalogError(ReproError):
+    """A referenced table is missing from the catalog."""

@@ -1,0 +1,5 @@
+"""Execution instrumentation backing the benchmark harness."""
+
+from repro.metrics.stats import BatchMetrics, RunMetrics
+
+__all__ = ["BatchMetrics", "RunMetrics"]

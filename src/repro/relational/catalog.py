@@ -1,0 +1,48 @@
+"""A named collection of base relations."""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import CatalogError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class Catalog:
+    """Maps table names to :class:`Relation` objects."""
+
+    def __init__(self, tables: Mapping[str, Relation] | None = None):
+        self._tables: dict[str, Relation] = dict(tables or {})
+
+    def register(self, name: str, relation: Relation) -> None:
+        self._tables[name] = relation
+
+    def get(self, name: str) -> Relation:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            ) from None
+
+    def schema(self, name: str) -> Schema:
+        return self.get(name).schema
+
+    def schemas(self) -> dict[str, Schema]:
+        return {name: rel.schema for name, rel in self._tables.items()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def replace(self, name: str, relation: Relation) -> "Catalog":
+        """Copy of this catalog with one table substituted."""
+        out = Catalog(self._tables)
+        out.register(name, relation)
+        return out

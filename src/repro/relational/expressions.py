@@ -1,0 +1,466 @@
+"""Scalar expression AST evaluated over columnar relations.
+
+Expressions support two evaluation modes:
+
+* :meth:`Expression.evaluate` — vectorized over a whole :class:`Relation`
+  (the hot path for batch execution and the certain path of the online
+  engine), returning a NumPy array;
+* :meth:`Expression.evaluate_row` — per-row over a row dict (the slow path
+  used for small non-deterministic sets). In this mode operands may be
+  :class:`~repro.core.values.UncertainValue` objects; arithmetic uses the
+  Python operators so trial vectors and variation ranges propagate, while
+  comparisons collapse uncertain operands to their current point estimate
+  (range-aware classification of comparisons lives in the online SELECT
+  operator, not here).
+
+Expression objects overload the Python operators so plans read naturally::
+
+    (col("buffer_time") > col("avg_buffer")) & (col("play_time") >= 60)
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ExpressionError
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import ColumnType, Schema
+
+
+def point(value: object) -> object:
+    """Collapse an uncertain value to its current point estimate."""
+    if getattr(value, "__iolap_uncertain__", False):
+        return value.value  # type: ignore[attr-defined]
+    return value
+
+
+def is_uncertain(value: object) -> bool:
+    return bool(getattr(value, "__iolap_uncertain__", False))
+
+
+class Expression:
+    """Base class of all scalar expressions."""
+
+    def attrs(self) -> set[str]:
+        """Column names referenced by this expression (``attr(f)`` in the paper)."""
+        raise NotImplementedError
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        raise NotImplementedError
+
+    def evaluate_row(self, row: Row) -> object:
+        raise NotImplementedError
+
+    def output_type(self, schema: Schema) -> ColumnType:
+        raise NotImplementedError
+
+    def children(self) -> Sequence["Expression"]:
+        return ()
+
+    # -- operator sugar -------------------------------------------------------
+
+    def __add__(self, other: object) -> "Expression":
+        return Arith("+", self, lift(other))
+
+    def __radd__(self, other: object) -> "Expression":
+        return Arith("+", lift(other), self)
+
+    def __sub__(self, other: object) -> "Expression":
+        return Arith("-", self, lift(other))
+
+    def __rsub__(self, other: object) -> "Expression":
+        return Arith("-", lift(other), self)
+
+    def __mul__(self, other: object) -> "Expression":
+        return Arith("*", self, lift(other))
+
+    def __rmul__(self, other: object) -> "Expression":
+        return Arith("*", lift(other), self)
+
+    def __truediv__(self, other: object) -> "Expression":
+        return Arith("/", self, lift(other))
+
+    def __rtruediv__(self, other: object) -> "Expression":
+        return Arith("/", lift(other), self)
+
+    def __gt__(self, other: object) -> "Comparison":
+        return Comparison(">", self, lift(other))
+
+    def __ge__(self, other: object) -> "Comparison":
+        return Comparison(">=", self, lift(other))
+
+    def __lt__(self, other: object) -> "Comparison":
+        return Comparison("<", self, lift(other))
+
+    def __le__(self, other: object) -> "Comparison":
+        return Comparison("<=", self, lift(other))
+
+    def eq(self, other: object) -> "Comparison":
+        """Equality comparison (``==`` is kept for object identity)."""
+        return Comparison("==", self, lift(other))
+
+    def ne(self, other: object) -> "Comparison":
+        return Comparison("!=", self, lift(other))
+
+    def __and__(self, other: object) -> "Expression":
+        return And(self, lift(other))
+
+    def __or__(self, other: object) -> "Expression":
+        return Or(self, lift(other))
+
+    def __invert__(self) -> "Expression":
+        return Not(self)
+
+    def isin(self, values: Sequence[object]) -> "InList":
+        return InList(self, list(values))
+
+
+def lift(value: object) -> Expression:
+    """Wrap a plain Python value as a :class:`Literal` (expressions pass through)."""
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+class Col(Expression):
+    """Reference to a named column."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def attrs(self) -> set[str]:
+        return {self.name}
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        return rel.column(self.name)
+
+    def evaluate_row(self, row: Row) -> object:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise ExpressionError(
+                f"row has no column {self.name!r}; columns: {sorted(row)}"
+            ) from None
+
+    def output_type(self, schema: Schema) -> ColumnType:
+        return schema.type_of(self.name)
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+def col(name: str) -> Col:
+    return Col(name)
+
+
+class Literal(Expression):
+    """A constant."""
+
+    def __init__(self, value: object):
+        self.value = value
+
+    def attrs(self) -> set[str]:
+        return set()
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        return np.full(len(rel), self.value)
+
+    def evaluate_row(self, row: Row) -> object:
+        return self.value
+
+    def output_type(self, schema: Schema) -> ColumnType:
+        if isinstance(value := self.value, bool):
+            return ColumnType.BOOL
+        if isinstance(value, int):
+            return ColumnType.INT
+        if isinstance(value, float):
+            return ColumnType.FLOAT
+        if isinstance(value, str):
+            return ColumnType.STRING
+        raise ExpressionError(f"unsupported literal type: {type(self.value).__name__}")
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+def lit(value: object) -> Literal:
+    return Literal(value)
+
+
+_ARITH_OPS: dict[str, Callable] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+}
+
+
+class Arith(Expression):
+    """Binary arithmetic over numeric operands."""
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _ARITH_OPS:
+            raise ExpressionError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def attrs(self) -> set[str]:
+        return self.left.attrs() | self.right.attrs()
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        lhs = self.left.evaluate(rel)
+        rhs = self.right.evaluate(rel)
+        if self.op == "/":
+            lhs = np.asarray(lhs, dtype=np.float64)
+        return _ARITH_OPS[self.op](lhs, rhs)
+
+    def evaluate_row(self, row: Row) -> object:
+        return _ARITH_OPS[self.op](self.left.evaluate_row(row), self.right.evaluate_row(row))
+
+    def output_type(self, schema: Schema) -> ColumnType:
+        lt = self.left.output_type(schema)
+        rt = self.right.output_type(schema)
+        if ColumnType.STRING in (lt, rt):
+            raise ExpressionError(f"arithmetic {self.op!r} on string operand")
+        if self.op == "/" or ColumnType.FLOAT in (lt, rt):
+            return ColumnType.FLOAT
+        return ColumnType.INT
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+_CMP_OPS: dict[str, Callable] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Comparison with the operand order flipped — used when normalizing
+#: predicates so the uncertain side sits on the right.
+FLIPPED_CMP = {"==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class Comparison(Expression):
+    """Binary comparison; the predicate form tracked by uncertainty analysis."""
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _CMP_OPS:
+            raise ExpressionError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def attrs(self) -> set[str]:
+        return self.left.attrs() | self.right.attrs()
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        return _CMP_OPS[self.op](self.left.evaluate(rel), self.right.evaluate(rel))
+
+    def evaluate_row(self, row: Row) -> object:
+        lhs = point(self.left.evaluate_row(row))
+        rhs = point(self.right.evaluate_row(row))
+        return bool(_CMP_OPS[self.op](lhs, rhs))
+
+    def output_type(self, schema: Schema) -> ColumnType:
+        return ColumnType.BOOL
+
+    def flipped(self) -> "Comparison":
+        return Comparison(FLIPPED_CMP[self.op], self.right, self.left)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class And(Expression):
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    def attrs(self) -> set[str]:
+        return self.left.attrs() | self.right.attrs()
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        return np.logical_and(self.left.evaluate(rel), self.right.evaluate(rel))
+
+    def evaluate_row(self, row: Row) -> object:
+        return bool(self.left.evaluate_row(row)) and bool(self.right.evaluate_row(row))
+
+    def output_type(self, schema: Schema) -> ColumnType:
+        return ColumnType.BOOL
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+class Or(Expression):
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    def attrs(self) -> set[str]:
+        return self.left.attrs() | self.right.attrs()
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        return np.logical_or(self.left.evaluate(rel), self.right.evaluate(rel))
+
+    def evaluate_row(self, row: Row) -> object:
+        return bool(self.left.evaluate_row(row)) or bool(self.right.evaluate_row(row))
+
+    def output_type(self, schema: Schema) -> ColumnType:
+        return ColumnType.BOOL
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+class Not(Expression):
+    def __init__(self, child: Expression):
+        self.child = child
+
+    def attrs(self) -> set[str]:
+        return self.child.attrs()
+
+    def children(self) -> Sequence[Expression]:
+        return (self.child,)
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        return np.logical_not(self.child.evaluate(rel))
+
+    def evaluate_row(self, row: Row) -> object:
+        return not bool(self.child.evaluate_row(row))
+
+    def output_type(self, schema: Schema) -> ColumnType:
+        return ColumnType.BOOL
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.child!r})"
+
+
+class InList(Expression):
+    """Membership in a fixed list of constants."""
+
+    def __init__(self, child: Expression, values: list[object]):
+        self.child = child
+        self.values = values
+
+    def attrs(self) -> set[str]:
+        return self.child.attrs()
+
+    def children(self) -> Sequence[Expression]:
+        return (self.child,)
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        arr = self.child.evaluate(rel)
+        return np.isin(arr, np.array(self.values, dtype=arr.dtype))
+
+    def evaluate_row(self, row: Row) -> object:
+        return point(self.child.evaluate_row(row)) in self.values
+
+    def output_type(self, schema: Schema) -> ColumnType:
+        return ColumnType.BOOL
+
+    def __repr__(self) -> str:
+        return f"({self.child!r} IN {self.values!r})"
+
+
+class Func(Expression):
+    """A scalar user-defined function.
+
+    ``fn`` receives the evaluated argument values. With ``vectorized=True``
+    it is called once with NumPy arrays; otherwise it is applied row by row
+    (and also used directly on the per-row path).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable,
+        args: Sequence[Expression],
+        out_type: ColumnType = ColumnType.FLOAT,
+        vectorized: bool = False,
+    ):
+        self.name = name
+        self.fn = fn
+        self.args = [lift(a) for a in args]
+        self.out_type = out_type
+        self.vectorized = vectorized
+
+    def attrs(self) -> set[str]:
+        out: set[str] = set()
+        for a in self.args:
+            out |= a.attrs()
+        return out
+
+    def children(self) -> Sequence[Expression]:
+        return tuple(self.args)
+
+    def evaluate(self, rel: Relation) -> np.ndarray:
+        arg_arrays = [a.evaluate(rel) for a in self.args]
+        if self.vectorized:
+            return np.asarray(self.fn(*arg_arrays))
+        out = np.empty(len(rel), dtype=self.out_type.dtype)
+        for i in range(len(rel)):
+            out[i] = self.fn(*(arr[i] for arr in arg_arrays))
+        return out
+
+    def evaluate_row(self, row: Row) -> object:
+        args = [a.evaluate_row(row) for a in self.args]
+        if any(is_uncertain(v) for v in args):
+            # UDFs are opaque; apply to point estimates. Trial-level
+            # propagation through UDFs happens in the online PROJECT
+            # operator, which re-evaluates per trial when needed.
+            args = [point(v) for v in args]
+        return self.fn(*args)
+
+    def output_type(self, schema: Schema) -> ColumnType:
+        return self.out_type
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+def walk(expr: Expression):
+    """Yield ``expr`` and all of its descendants (pre-order)."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+def conjuncts(expr: Expression) -> list[Expression]:
+    """Split a predicate into its top-level AND-ed conjuncts."""
+    if isinstance(expr, And):
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(parts: Sequence[Expression]) -> Expression:
+    """Rebuild a predicate from conjuncts (``lit(True)`` when empty)."""
+    parts = list(parts)
+    if not parts:
+        return Literal(True)
+    out = parts[0]
+    for p in parts[1:]:
+        out = And(out, p)
+    return out

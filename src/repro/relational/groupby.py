@@ -1,0 +1,101 @@
+"""Grouping helpers shared by the batch evaluator and the online sketches."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.relational.relation import Relation
+
+#: A group key is the tuple of group-by column values (``()`` for scalar
+#: aggregates, matching the paper's "empty join key" in Figure 2).
+GroupKey = tuple
+
+
+def group_ids(rel: Relation, group_by: Sequence[str]) -> tuple[list[GroupKey], np.ndarray]:
+    """Assign a dense group id to each row.
+
+    Returns ``(keys, gids)`` where ``keys[g]`` is the key tuple of group
+    ``g`` and ``gids[i]`` the group of row ``i``. Group ids follow first
+    appearance order, which keeps online outputs stable across batches.
+    """
+    n = len(rel)
+    if not group_by:
+        return [()], np.zeros(n, dtype=np.intp)
+    if len(group_by) == 1:
+        values = rel.column(group_by[0])
+        uniques, inverse = np.unique(values, return_inverse=True)
+        # Re-order so that ids follow first appearance, not sorted order.
+        first_pos = np.full(len(uniques), n, dtype=np.intp)
+        np.minimum.at(first_pos, inverse, np.arange(n, dtype=np.intp))
+        order = np.argsort(first_pos, kind="stable")
+        rank = np.empty_like(order)
+        rank[order] = np.arange(len(uniques))
+        keys = [(uniques[g],) for g in order]
+        return keys, rank[inverse]
+    mapping: dict[GroupKey, int] = {}
+    gids = np.empty(n, dtype=np.intp)
+    keys: list[GroupKey] = []
+    for i, key in enumerate(rel.key_tuples(group_by)):
+        gid = mapping.get(key)
+        if gid is None:
+            gid = len(keys)
+            mapping[key] = gid
+            keys.append(key)
+        gids[i] = gid
+    return keys, gids
+
+
+def weighted_sums(
+    features: np.ndarray, weights: np.ndarray, gids: np.ndarray, num_groups: int
+) -> np.ndarray:
+    """Per-group weighted feature sums.
+
+    ``features`` is (k, n), ``weights`` (n,); result is (num_groups, k).
+    """
+    k = features.shape[0]
+    out = np.zeros((num_groups, k), dtype=np.float64)
+    for j in range(k):
+        out[:, j] = np.bincount(gids, weights=features[j] * weights, minlength=num_groups)
+    return out
+
+
+def weighted_trial_sums(
+    features: np.ndarray,
+    trial_weights: np.ndarray,
+    gids: np.ndarray,
+    num_groups: int,
+) -> np.ndarray:
+    """Per-group per-trial weighted feature sums.
+
+    ``features`` is (k, n), ``trial_weights`` (n, T); result is
+    (num_groups, T, k). Loops over features and trials stay in NumPy; at
+    mini-batch sizes (thousands of rows, ~100 trials) this is fast.
+    """
+    k = features.shape[0]
+    t = trial_weights.shape[1]
+    out = np.zeros((num_groups, t, k), dtype=np.float64)
+    for j in range(k):
+        weighted = features[j][:, None] * trial_weights  # (n, T)
+        for g, row in _accumulate_by_group(weighted, gids, num_groups):
+            out[g, :, j] = row
+    return out
+
+
+def trial_weight_sums(
+    trial_weights: np.ndarray, gids: np.ndarray, num_groups: int
+) -> np.ndarray:
+    """Per-group per-trial weight sums: (num_groups, T)."""
+    out = np.zeros((num_groups, trial_weights.shape[1]), dtype=np.float64)
+    for g, row in _accumulate_by_group(trial_weights, gids, num_groups):
+        out[g] = row
+    return out
+
+
+def _accumulate_by_group(matrix: np.ndarray, gids: np.ndarray, num_groups: int):
+    """Yield ``(group, column-sum-of-rows-in-group)`` for a (n, T) matrix."""
+    acc = np.zeros((num_groups, matrix.shape[1]), dtype=np.float64)
+    np.add.at(acc, gids, matrix)
+    for g in range(num_groups):
+        yield g, acc[g]

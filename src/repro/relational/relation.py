@@ -1,0 +1,302 @@
+"""Columnar relations with real-valued tuple multiplicities.
+
+Implements the generalized bag semantics of the paper's Appendix A: a
+relation maps tuples to *real* multiplicities. A multiplicity of ``0``
+means "conceptually present but not (yet) seen" — exactly how the paper
+describes streamed tuples before their batch arrives — while fractional
+multiplicities arise from scaling and bootstrap reweighting.
+
+A :class:`Relation` stores one NumPy array per column plus:
+
+* ``mult`` — the (n,) multiplicity vector, and
+* ``trial_mults`` — an optional (n, T) matrix of per-bootstrap-trial
+  multiplicities used to piggyback Poissonized bootstrap through the plan
+  (Section 7, rewriting step 2). Deterministic/batch execution leaves it
+  ``None``.
+
+Columns normally hold plain scalars; in the online engine a column may be
+an object array of :class:`~repro.core.values.LineageRef`, which is opaque
+to this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.schema import ColumnType, Schema
+
+Row = dict[str, object]
+
+
+class Relation:
+    """An immutable-by-convention columnar bag relation.
+
+    Mutating helpers always return new relations; the backing arrays may be
+    shared, so callers must not write into ``columns`` / ``mult`` in place.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Mapping[str, np.ndarray],
+        mult: np.ndarray | None = None,
+        trial_mults: np.ndarray | None = None,
+    ):
+        self.schema = schema
+        self.columns: dict[str, np.ndarray] = {}
+        n = None
+        for col in schema:
+            if col.name not in columns:
+                raise SchemaError(f"missing data for column {col.name!r}")
+            arr = np.asarray(columns[col.name])
+            if n is None:
+                n = len(arr)
+            elif len(arr) != n:
+                raise SchemaError(
+                    f"column {col.name!r} has {len(arr)} rows, expected {n}"
+                )
+            self.columns[col.name] = arr
+        if n is None:
+            n = 0
+        if mult is None:
+            mult = np.ones(n, dtype=np.float64)
+        else:
+            mult = np.asarray(mult, dtype=np.float64)
+            if len(mult) != n:
+                raise SchemaError(f"mult has {len(mult)} entries, expected {n}")
+        self.mult = mult
+        if trial_mults is not None:
+            trial_mults = np.asarray(trial_mults, dtype=np.float64)
+            if trial_mults.shape[0] != n:
+                raise SchemaError(
+                    f"trial_mults has {trial_mults.shape[0]} rows, expected {n}"
+                )
+        self.trial_mults = trial_mults
+        self._n = n
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: Schema, num_trials: int | None = None) -> "Relation":
+        cols = {c.name: np.empty(0, dtype=c.ctype.dtype) for c in schema}
+        trials = None
+        if num_trials is not None:
+            trials = np.empty((0, num_trials), dtype=np.float64)
+        return cls(schema, cols, np.empty(0, dtype=np.float64), trials)
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Sequence[Row],
+        mult: Sequence[float] | None = None,
+        trial_mults: np.ndarray | None = None,
+        validate: bool = False,
+    ) -> "Relation":
+        """Build a relation from row dictionaries.
+
+        With ``validate=True`` each value is checked against the schema —
+        useful in tests and data loading, skipped on hot paths.
+        """
+        cols: dict[str, np.ndarray] = {}
+        for c in schema:
+            values = [r[c.name] for r in rows]
+            if validate:
+                for v in values:
+                    schema.validate_value(c.name, v)
+            cols[c.name] = np.array(values, dtype=c.ctype.dtype) if rows else np.empty(
+                0, dtype=c.ctype.dtype
+            )
+        m = None if mult is None else np.asarray(mult, dtype=np.float64)
+        return cls(schema, cols, m, trial_mults)
+
+    # -- size / iteration -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def num_trials(self) -> int:
+        return 0 if self.trial_mults is None else self.trial_mults.shape[1]
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self.columns:
+            raise SchemaError(f"no column named {name!r}; have {self.schema.names}")
+        return self.columns[name]
+
+    def row(self, i: int) -> Row:
+        return {name: arr[i] for name, arr in self.columns.items()}
+
+    def iter_rows(self) -> Iterator[Row]:
+        for i in range(self._n):
+            yield self.row(i)
+
+    def total_multiplicity(self) -> float:
+        return float(self.mult.sum())
+
+    # -- transformations -------------------------------------------------------
+
+    def filter(self, mask: np.ndarray) -> "Relation":
+        """Rows where boolean ``mask`` holds (multiplicities preserved)."""
+        cols = {n: a[mask] for n, a in self.columns.items()}
+        trials = None if self.trial_mults is None else self.trial_mults[mask]
+        return Relation(self.schema, cols, self.mult[mask], trials)
+
+    def take(self, indices: np.ndarray) -> "Relation":
+        """Rows at ``indices`` (with repetition allowed)."""
+        cols = {n: a[indices] for n, a in self.columns.items()}
+        trials = None if self.trial_mults is None else self.trial_mults[indices]
+        return Relation(self.schema, cols, self.mult[indices], trials)
+
+    def scale(self, factor: float | np.ndarray) -> "Relation":
+        """Multiply multiplicities (and trial multiplicities) by ``factor``."""
+        trials = self.trial_mults
+        if trials is not None:
+            if np.ndim(factor) == 0:
+                trials = trials * factor
+            else:
+                trials = trials * np.asarray(factor)[:, None]
+        return Relation(self.schema, self.columns, self.mult * factor, trials)
+
+    def with_mult(self, mult: np.ndarray, trial_mults: np.ndarray | None) -> "Relation":
+        return Relation(self.schema, self.columns, mult, trial_mults)
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        sub = self.schema.project(names)
+        cols = {n: self.columns[n] for n in names}
+        return Relation(sub, cols, self.mult, self.trial_mults)
+
+    def rename(self, mapping: dict[str, str]) -> "Relation":
+        schema = self.schema.rename(mapping)
+        cols = {mapping.get(n, n): a for n, a in self.columns.items()}
+        return Relation(schema, cols, self.mult, self.trial_mults)
+
+    def with_column(self, name: str, ctype: ColumnType, values: np.ndarray) -> "Relation":
+        """Relation with an extra column appended."""
+        schema = self.schema.concat(Schema([(name, ctype)]))
+        cols = dict(self.columns)
+        cols[name] = np.asarray(values)
+        return Relation(schema, cols, self.mult, self.trial_mults)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Bag union with ``other`` (schemas must match exactly)."""
+        if other.schema != self.schema:
+            raise SchemaError(
+                f"cannot concat relations with schemas {self.schema} and {other.schema}"
+            )
+        if len(other) == 0:
+            return self
+        if len(self) == 0:
+            return other
+        cols = {
+            n: np.concatenate([self.columns[n], other.columns[n]])
+            for n in self.schema.names
+        }
+        mult = np.concatenate([self.mult, other.mult])
+        trials = _concat_trials(self, other)
+        return Relation(self.schema, cols, mult, trials)
+
+    # -- grouping helpers -------------------------------------------------------
+
+    def key_tuples(self, names: Sequence[str]) -> list[tuple]:
+        """Per-row tuples of the values in key columns ``names``."""
+        arrays = [self.columns[n] for n in names]
+        return list(zip(*(a.tolist() for a in arrays))) if arrays else [
+            () for _ in range(self._n)
+        ]
+
+    # -- accounting ---------------------------------------------------------------
+
+    def estimated_bytes(self) -> int:
+        """Approximate in-memory footprint (columns + mult + trials)."""
+        per_row = self.schema.row_byte_width() + 8
+        if self.trial_mults is not None:
+            per_row += 8 * self.num_trials
+        return per_row * self._n
+
+    # -- comparison / display -------------------------------------------------------
+
+    def to_multiset(self, ndigits: int = 6) -> dict[tuple, float]:
+        """Collapse into {value-tuple: total multiplicity} for bag comparison."""
+        out: dict[tuple, float] = {}
+        names = self.schema.names
+        for i in range(self._n):
+            key = tuple(_round(self.columns[n][i], ndigits) for n in names)
+            out[key] = out.get(key, 0.0) + float(self.mult[i])
+        return {k: round(v, ndigits) for k, v in out.items() if round(v, ndigits) != 0}
+
+    def bag_equal(self, other: "Relation", ndigits: int = 6) -> bool:
+        """Bag equality up to rounding — the reference check used in tests."""
+        return (
+            self.schema.names == other.schema.names
+            and self.to_multiset(ndigits) == other.to_multiset(ndigits)
+        )
+
+    def sort_rows(self, by: Sequence[str] | None = None) -> list[Row]:
+        """Materialize rows sorted by ``by`` (all columns if omitted)."""
+        by = list(by) if by is not None else self.schema.names
+        rows = list(self.iter_rows())
+        rows.sort(key=lambda r: tuple(_sort_key(r[c]) for c in by))
+        return rows
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema!r}, n={self._n}, |D|={self.total_multiplicity():g})"
+
+
+def _concat_trials(a: Relation, b: Relation) -> np.ndarray | None:
+    """Stack trial-multiplicity matrices, padding absent sides with ``mult``.
+
+    A missing matrix means "this side never went through bootstrap
+    reweighting", so its per-trial multiplicity equals its actual
+    multiplicity in every trial.
+    """
+    if a.trial_mults is None and b.trial_mults is None:
+        return None
+    ta, tb = a.trial_mults, b.trial_mults
+    if ta is None:
+        ta = np.repeat(a.mult[:, None], tb.shape[1], axis=1)
+    if tb is None:
+        tb = np.repeat(b.mult[:, None], ta.shape[1], axis=1)
+    if ta.shape[1] != tb.shape[1]:
+        raise SchemaError(
+            f"cannot concat relations with {ta.shape[1]} and {tb.shape[1]} trials"
+        )
+    return np.vstack([ta, tb])
+
+
+def _round(value: object, ndigits: int) -> object:
+    if isinstance(value, (float, np.floating)):
+        return round(float(value), ndigits)
+    if isinstance(value, np.integer):
+        return int(value)
+    return value
+
+
+def _sort_key(value: object) -> tuple:
+    # Heterogeneous-safe sort key: group by type name, then value.
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return ("0num", float(value))
+    return (type(value).__name__, str(value))
+
+
+def relation_from_columns(
+    schema: Schema, **columns: Iterable
+) -> Relation:
+    """Convenience constructor used heavily in tests: column name → values."""
+    cols = {
+        c.name: np.asarray(list(columns[c.name]), dtype=c.ctype.dtype) for c in schema
+    }
+    return Relation(schema, cols)
+
+
+def apply_per_row(
+    rel: Relation, fn: Callable[[Row], object], dtype: np.dtype
+) -> np.ndarray:
+    """Apply ``fn`` to each row dict; returns an array (slow path, small inputs)."""
+    out = np.empty(len(rel), dtype=dtype)
+    for i in range(len(rel)):
+        out[i] = fn(rel.row(i))
+    return out

@@ -1,0 +1,7 @@
+"""SQL front-end for the supported SPJA + nested-subquery subset."""
+
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse
+from repro.sql.planner import SQLPlanner, UDF, plan_sql
+
+__all__ = ["SQLPlanner", "Token", "UDF", "parse", "plan_sql", "tokenize"]

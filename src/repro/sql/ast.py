@@ -1,0 +1,120 @@
+"""Abstract syntax for the SQL subset (pre-planning representation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SqlExpr:
+    """Base class of SQL expression AST nodes."""
+
+
+@dataclass
+class ColumnRef(SqlExpr):
+    name: str
+    table: str | None = None  # alias qualifier
+
+    def __repr__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass
+class NumberLit(SqlExpr):
+    value: float | int
+
+
+@dataclass
+class StringLit(SqlExpr):
+    value: str
+
+
+@dataclass
+class BoolLit(SqlExpr):
+    value: bool
+
+
+@dataclass
+class BinaryOp(SqlExpr):
+    op: str  # arithmetic or comparison
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass
+class BoolOp(SqlExpr):
+    op: str  # 'AND' | 'OR'
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass
+class NotOp(SqlExpr):
+    child: SqlExpr
+
+
+@dataclass
+class FuncCall(SqlExpr):
+    """Aggregate or scalar function call (resolved during planning)."""
+
+    name: str
+    args: list[SqlExpr]
+    star: bool = False  # COUNT(*)
+
+
+@dataclass
+class InList(SqlExpr):
+    child: SqlExpr
+    values: list[SqlExpr]
+    negated: bool = False
+
+
+@dataclass
+class InSubquery(SqlExpr):
+    child: SqlExpr
+    query: "SelectStatement"
+    negated: bool = False
+
+
+@dataclass
+class ScalarSubquery(SqlExpr):
+    query: "SelectStatement"
+
+
+@dataclass
+class Between(SqlExpr):
+    child: SqlExpr
+    low: SqlExpr
+    high: SqlExpr
+
+
+@dataclass
+class TableRef:
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class ExplicitJoin:
+    table: TableRef
+    condition: SqlExpr
+
+
+@dataclass
+class SelectItem:
+    expr: SqlExpr
+    alias: str | None = None
+
+
+@dataclass
+class SelectStatement:
+    items: list[SelectItem]
+    tables: list[TableRef]
+    joins: list[ExplicitJoin] = field(default_factory=list)
+    where: SqlExpr | None = None
+    group_by: list[ColumnRef] = field(default_factory=list)
+    having: SqlExpr | None = None
+    distinct: bool = False

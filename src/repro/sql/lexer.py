@@ -1,0 +1,95 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AS", "AND", "OR",
+    "NOT", "IN", "JOIN", "ON", "BETWEEN", "DISTINCT", "UNION", "ALL", "TRUE",
+    "FALSE",
+}
+
+#: Multi- and single-character operators, longest first.
+OPERATORS = ["<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/", "%",
+             "(", ")", ",", "."]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'kw' | 'ident' | 'number' | 'string' | 'op' | 'eof'
+    value: str
+    pos: int
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind == "kw" and self.value == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.value == op
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL text into tokens; raises :class:`SQLError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    while k < n and text[k].isdigit():
+                        k += 1
+                    j = k
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 1
+            if j >= n:
+                raise SQLError(f"unterminated string literal at position {i}")
+            tokens.append(Token("string", text[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("kw", word.upper(), i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise SQLError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

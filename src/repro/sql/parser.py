@@ -1,0 +1,281 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (roughly)::
+
+    select    := SELECT [DISTINCT] item (',' item)*
+                 FROM tableref (',' tableref)*
+                 (JOIN tableref ON condition)*
+                 [WHERE condition] [GROUP BY colref (',' colref)*]
+                 [HAVING condition]
+    item      := expr [AS ident] | '*'
+    condition := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | predicate
+    predicate := additive [cmp additive | [NOT] IN '(' ... ')'
+                 | BETWEEN additive AND additive]
+    additive  := multiplicative (('+'|'-') multiplicative)*
+    mult      := primary (('*'|'/'|'%') primary)*
+    primary   := number | string | TRUE | FALSE | colref | func '(' args ')'
+                 | '(' select ')' | '(' condition ')'
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLError
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    BoolLit,
+    BoolOp,
+    ColumnRef,
+    ExplicitJoin,
+    FuncCall,
+    InList,
+    InSubquery,
+    NotOp,
+    NumberLit,
+    ScalarSubquery,
+    SelectItem,
+    SelectStatement,
+    SqlExpr,
+    StringLit,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+
+_CMP_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def parse(text: str) -> SelectStatement:
+    """Parse one SELECT statement."""
+    parser = _Parser(tokenize(text))
+    stmt = parser.select_statement()
+    parser.expect_eof()
+    return stmt
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def accept_kw(self, word: str) -> bool:
+        if self.cur.is_kw(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_kw(self, word: str) -> None:
+        if not self.accept_kw(word):
+            raise SQLError(f"expected {word} at position {self.cur.pos}, got {self.cur.value!r}")
+
+    def accept_op(self, op: str) -> bool:
+        if self.cur.is_op(op):
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise SQLError(f"expected {op!r} at position {self.cur.pos}, got {self.cur.value!r}")
+
+    def expect_ident(self) -> str:
+        if self.cur.kind != "ident":
+            raise SQLError(
+                f"expected identifier at position {self.cur.pos}, got {self.cur.value!r}"
+            )
+        return self.advance().value
+
+    def expect_eof(self) -> None:
+        if self.cur.kind != "eof":
+            raise SQLError(f"unexpected trailing input at position {self.cur.pos}")
+
+    # -- grammar ---------------------------------------------------------------------
+
+    def select_statement(self) -> SelectStatement:
+        self.expect_kw("SELECT")
+        distinct = self.accept_kw("DISTINCT")
+        items = [self.select_item()]
+        while self.accept_op(","):
+            items.append(self.select_item())
+
+        self.expect_kw("FROM")
+        tables = [self.table_ref()]
+        while self.accept_op(","):
+            tables.append(self.table_ref())
+        joins = []
+        while self.accept_kw("JOIN"):
+            table = self.table_ref()
+            self.expect_kw("ON")
+            joins.append(ExplicitJoin(table, self.condition()))
+
+        where = self.condition() if self.accept_kw("WHERE") else None
+        group_by: list[ColumnRef] = []
+        if self.accept_kw("GROUP"):
+            self.expect_kw("BY")
+            group_by.append(self.column_ref())
+            while self.accept_op(","):
+                group_by.append(self.column_ref())
+        having = self.condition() if self.accept_kw("HAVING") else None
+        return SelectStatement(
+            items, tables, joins, where, group_by, having, distinct
+        )
+
+    def select_item(self) -> SelectItem:
+        expr = self.condition()
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.expect_ident()
+        elif self.cur.kind == "ident":
+            alias = self.advance().value
+        return SelectItem(expr, alias)
+
+    def table_ref(self) -> TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.expect_ident()
+        elif self.cur.kind == "ident":
+            alias = self.advance().value
+        return TableRef(name, alias)
+
+    def column_ref(self) -> ColumnRef:
+        first = self.expect_ident()
+        if self.accept_op("."):
+            return ColumnRef(self.expect_ident(), table=first)
+        return ColumnRef(first)
+
+    # expressions ----------------------------------------------------------------------
+
+    def condition(self) -> SqlExpr:
+        return self.or_expr()
+
+    def or_expr(self) -> SqlExpr:
+        left = self.and_expr()
+        while self.accept_kw("OR"):
+            left = BoolOp("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> SqlExpr:
+        left = self.not_expr()
+        while self.accept_kw("AND"):
+            left = BoolOp("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> SqlExpr:
+        if self.accept_kw("NOT"):
+            return NotOp(self.not_expr())
+        return self.predicate()
+
+    def predicate(self) -> SqlExpr:
+        left = self.additive()
+        negated = False
+        if self.cur.is_kw("NOT"):
+            save = self.pos
+            self.advance()
+            if self.cur.is_kw("IN"):
+                negated = True
+            else:
+                self.pos = save
+        if self.accept_kw("IN"):
+            self.expect_op("(")
+            if self.cur.is_kw("SELECT"):
+                sub = self.select_statement()
+                self.expect_op(")")
+                return InSubquery(left, sub, negated)
+            values = [self.additive()]
+            while self.accept_op(","):
+                values.append(self.additive())
+            self.expect_op(")")
+            return InList(left, values, negated)
+        if self.accept_kw("BETWEEN"):
+            low = self.additive()
+            self.expect_kw("AND")
+            return Between(left, low, self.additive())
+        for op in sorted(_CMP_OPS, key=len, reverse=True):
+            if self.cur.is_op(op):
+                self.advance()
+                return BinaryOp(op, left, self.additive())
+        return left
+
+    def additive(self) -> SqlExpr:
+        left = self.multiplicative()
+        while True:
+            if self.accept_op("+"):
+                left = BinaryOp("+", left, self.multiplicative())
+            elif self.accept_op("-"):
+                left = BinaryOp("-", left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> SqlExpr:
+        left = self.unary()
+        while True:
+            if self.accept_op("*"):
+                left = BinaryOp("*", left, self.unary())
+            elif self.accept_op("/"):
+                left = BinaryOp("/", left, self.unary())
+            elif self.accept_op("%"):
+                left = BinaryOp("%", left, self.unary())
+            else:
+                return left
+
+    def unary(self) -> SqlExpr:
+        if self.accept_op("-"):
+            return BinaryOp("-", NumberLit(0), self.unary())
+        return self.primary()
+
+    def primary(self) -> SqlExpr:
+        tok = self.cur
+        if tok.kind == "number":
+            self.advance()
+            text = tok.value
+            value = float(text) if ("." in text or "e" in text or "E" in text) else int(text)
+            return NumberLit(value)
+        if tok.kind == "string":
+            self.advance()
+            return StringLit(tok.value)
+        if tok.is_kw("TRUE"):
+            self.advance()
+            return BoolLit(True)
+        if tok.is_kw("FALSE"):
+            self.advance()
+            return BoolLit(False)
+        if tok.is_op("("):
+            self.advance()
+            if self.cur.is_kw("SELECT"):
+                sub = self.select_statement()
+                self.expect_op(")")
+                return ScalarSubquery(sub)
+            inner = self.condition()
+            self.expect_op(")")
+            return inner
+        if tok.kind == "ident":
+            name = self.advance().value
+            if self.accept_op("("):
+                if self.accept_op("*"):
+                    self.expect_op(")")
+                    return FuncCall(name.lower(), [], star=True)
+                if self.accept_op(")"):
+                    return FuncCall(name.lower(), [])
+                args = [self.condition()]
+                while self.accept_op(","):
+                    args.append(self.condition())
+                self.expect_op(")")
+                return FuncCall(name.lower(), args)
+            if self.accept_op("."):
+                return ColumnRef(self.expect_ident(), table=name)
+            return ColumnRef(name)
+        raise SQLError(f"unexpected token {tok.value!r} at position {tok.pos}")

@@ -1,0 +1,16 @@
+"""Synthetic TPC-H-like and Conviva-like benchmark workloads."""
+
+from repro.workloads.conviva import ConvivaData, generate_conviva
+from repro.workloads.conviva_queries import CONVIVA_QUERIES
+from repro.workloads.tpch import TPCHData, generate_tpch
+from repro.workloads.tpch_queries import TPCH_QUERIES, QuerySpec
+
+__all__ = [
+    "CONVIVA_QUERIES",
+    "ConvivaData",
+    "QuerySpec",
+    "TPCHData",
+    "TPCH_QUERIES",
+    "generate_conviva",
+    "generate_tpch",
+]

@@ -1,0 +1,131 @@
+"""Synthetic Conviva-like video-session workload (Section 8 setup).
+
+The paper's second workload is a 2 TB anonymized video content
+distribution log from Conviva Inc. — a denormalized fact table of web
+sessions. The schema is described only through the paper's examples
+(``session_id``, ``buffer_time``, ``play_time``; queries grouping by
+CDN/geography/content and aggregating bitrates and bytes). We generate a
+statistically similar sessions table plus a small ``cdn_info`` dimension
+(the workload's C11 joins a dimension).
+
+Value model: play time correlates negatively with buffering (the "Slow
+Buffering Impact" effect the paper's Example 1 measures), bitrates
+cluster by CDN, and bytes follow play time × bitrate — so the workload's
+nested queries have real signal, not just noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+
+SESSIONS_SCHEMA = Schema(
+    [
+        ("session_id", ColumnType.INT),
+        ("user_id", ColumnType.INT),
+        ("state", ColumnType.STRING),
+        ("city", ColumnType.STRING),
+        ("cdn", ColumnType.STRING),
+        ("isp", ColumnType.STRING),
+        ("content_id", ColumnType.INT),
+        ("buffer_time", ColumnType.FLOAT),
+        ("play_time", ColumnType.FLOAT),
+        ("join_time", ColumnType.FLOAT),
+        ("bitrate", ColumnType.FLOAT),
+        ("rebuffer_count", ColumnType.INT),
+        ("bytes", ColumnType.FLOAT),
+        ("failed", ColumnType.INT),
+    ]
+)
+
+CDN_INFO_SCHEMA = Schema(
+    [
+        ("cdn", ColumnType.STRING),
+        ("tier", ColumnType.INT),
+        ("cost_per_gb", ColumnType.FLOAT),
+    ]
+)
+
+_CDNS = ["AKAM", "LLNW", "EDGE", "FAST", "CLFR"]
+_STATES = [
+    "CA", "NY", "TX", "WA", "FL", "IL", "MA", "GA", "PA", "OH",
+    "MI", "NC", "VA", "AZ", "CO",
+]
+_CITIES_PER_STATE = 3
+_ISPS = ["COMCAST", "VERIZON", "ATT", "CHARTER", "COX", "FRONTIER"]
+
+
+@dataclass
+class ConvivaData:
+    sessions: Relation
+    cdn_info: Relation
+
+    def catalog(self) -> Catalog:
+        return Catalog({"sessions": self.sessions, "cdn_info": self.cdn_info})
+
+
+def _zipfish_content(rng: np.random.Generator, n: int, n_content: int) -> np.ndarray:
+    """Skewed content popularity: a few hits, a long tail (Zipf-like)."""
+    weights = 1.0 / (np.arange(1, n_content + 1) ** 1.1)
+    return rng.choice(n_content, size=n, p=weights / weights.sum()).astype(np.int64)
+
+
+def generate_conviva(scale: float = 1.0, seed: int = 0) -> ConvivaData:
+    """Generate a dataset; ``scale=1.0`` ≈ 20k session rows."""
+    rng = np.random.default_rng(seed)
+    n = max(200, int(20_000 * scale))
+    n_users = max(50, n // 10)
+    n_content = max(20, int(80 * scale))
+
+    cdn = rng.choice(_CDNS, n, p=[0.3, 0.25, 0.2, 0.15, 0.1])
+    cdn_quality = {"AKAM": 1.0, "LLNW": 0.9, "EDGE": 0.75, "FAST": 0.6, "CLFR": 0.5}
+    quality = np.array([cdn_quality[c] for c in cdn])
+
+    state_idx = rng.integers(0, len(_STATES), n)
+    state = np.array(_STATES, dtype=object)[state_idx]
+    city = np.array(
+        [f"{_STATES[s]}-C{rng_city}" for s, rng_city in zip(state_idx, rng.integers(0, _CITIES_PER_STATE, n))],
+        dtype=object,
+    )
+
+    buffer_time = rng.gamma(2.0, 18.0, n) / quality
+    join_time = rng.gamma(2.0, 1.2, n) / quality
+    # Long buffering suppresses engagement — the SBI effect.
+    play_time = rng.gamma(3.0, 120.0, n) * np.exp(-buffer_time / 400.0)
+    bitrate = np.maximum(
+        200.0, rng.normal(2800.0, 700.0, n) * quality
+    )
+    rebuffer_count = rng.poisson(buffer_time / 25.0)
+    sessions = Relation(
+        SESSIONS_SCHEMA,
+        {
+            "session_id": np.arange(n, dtype=np.int64),
+            "user_id": rng.integers(0, n_users, n),
+            "state": state,
+            "city": city,
+            "cdn": np.asarray(cdn, dtype=object),
+            "isp": np.array(rng.choice(_ISPS, n), dtype=object),
+            "content_id": _zipfish_content(rng, n, n_content),
+            "buffer_time": np.round(buffer_time, 2),
+            "play_time": np.round(play_time, 2),
+            "join_time": np.round(join_time, 3),
+            "bitrate": np.round(bitrate, 1),
+            "rebuffer_count": rebuffer_count.astype(np.int64),
+            "bytes": np.round(play_time * bitrate / 8.0, 0),
+            "failed": (rng.random(n) < 0.03).astype(np.int64),
+        },
+    )
+    cdn_info = Relation(
+        CDN_INFO_SCHEMA,
+        {
+            "cdn": np.array(_CDNS, dtype=object),
+            "tier": np.array([1, 1, 2, 2, 3], dtype=np.int64),
+            "cost_per_gb": np.array([0.032, 0.030, 0.024, 0.02, 0.016]),
+        },
+    )
+    return ConvivaData(sessions, cdn_info)

@@ -1,0 +1,216 @@
+"""The 12-query Conviva-like workload (Section 8).
+
+The paper composes its workload "based on the real analysis used in [29,
+20] on the same dataset": simple SPJA queries (C3, C5, C11, C12), complex
+queries with nested subqueries and HAVING clauses (C1, C2, C4, C6–C10),
+UDFs (C6, C7) and UDAFs (C8–C10), with the nested structures similar to
+the TPC-H ones. We reconstruct an equivalent mix over the synthetic
+sessions log (DESIGN.md §2 records the substitution):
+
+* C1  — Slow Buffering Impact per state (nested scalar avg; Example 1).
+* C2  — per-CDN sessions slower to join than their CDN's average
+        (correlated nested aggregate).
+* C3  —平flat: average play time and session count by state.
+* C4  — contents more popular than the average content (aggregate of an
+        aggregate + HAVING-style comparison).
+* C5  — flat: delivered bytes by CDN for healthy HD sessions.
+* C6  — UDF bucketing of join time + nested scalar average filter.
+* C7  — UDF engagement score filtered against its own average (UDF under
+        an aggregate and in the predicate).
+* C8  — UDAF: geometric-mean bitrate by CDN over slow-buffering sessions
+        (the paper's Figure 7(a) query).
+* C9  — UDAF: stddev of join time by ISP for sessions slower than their
+        ISP's average (correlated + UDAF).
+* C10 — UDAF + HAVING: geometric-mean play time for big states only.
+* C11 — flat SPJA with the cdn_info dimension join.
+* C12 — flat: session count and average bitrate by ISP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.aggregates import avg, count, geomean, stddev, sum_
+from repro.relational.algebra import PlanNode, scan
+from repro.relational.expressions import Func, col
+from repro.relational.schema import ColumnType
+from repro.workloads.conviva import CDN_INFO_SCHEMA, SESSIONS_SCHEMA
+from repro.workloads.tpch_queries import QuerySpec
+
+
+def _sessions() -> PlanNode:
+    return scan("sessions", SESSIONS_SCHEMA)
+
+
+def _cdn_info() -> PlanNode:
+    return scan("cdn_info", CDN_INFO_SCHEMA)
+
+
+def join_time_bucket(values: np.ndarray) -> np.ndarray:
+    """UDF: bucket join times into 0.5-second bins, capped at 10."""
+    return np.minimum(np.floor(np.asarray(values) / 0.5), 10.0)
+
+
+def engagement_score(play: np.ndarray, rebuffer: np.ndarray) -> np.ndarray:
+    """UDF: play time discounted by rebuffering events."""
+    return np.asarray(play) / (1.0 + np.asarray(rebuffer, dtype=np.float64))
+
+
+def c1() -> PlanNode:
+    """Slow Buffering Impact by state (Example 1, grouped)."""
+    avg_buffer = _sessions().aggregate([], [avg("buffer_time", "avg_buffer")])
+    return (
+        _sessions()
+        .join(avg_buffer, keys=[])
+        .select(col("buffer_time") > col("avg_buffer"))
+        .aggregate(["state"], [avg("play_time", "avg_play"), count("sessions")])
+    )
+
+
+def c2() -> PlanNode:
+    """Sessions joining slower than their CDN's average, per CDN."""
+    avg_join = _sessions().aggregate(["cdn"], [avg("join_time", "avg_join")])
+    return (
+        _sessions()
+        .join(avg_join.rename({"cdn": "cdn2"}), keys=[("cdn", "cdn2")])
+        .select(col("join_time") > col("avg_join"))
+        .aggregate(["cdn"], [count("slow_sessions"), avg("play_time", "avg_play")])
+    )
+
+
+def c3() -> PlanNode:
+    """Flat: viewing behaviour by state."""
+    return _sessions().aggregate(
+        ["state"], [avg("play_time", "avg_play"), count("sessions")]
+    )
+
+
+def c4() -> PlanNode:
+    """Contents more popular than the average content (agg of agg)."""
+    per_content = _sessions().aggregate(["content_id"], [count("views")])
+    avg_views = per_content.aggregate([], [avg("views", "avg_views")])
+    return (
+        per_content.join(avg_views, keys=[])
+        .select(col("views") > col("avg_views") * 1.2)
+        .project([("content_id", "content_id"), ("views", "views")])
+    )
+
+
+def c5() -> PlanNode:
+    """Flat: healthy HD traffic by CDN."""
+    return (
+        _sessions()
+        .select((col("bitrate") > 2500.0) & (col("failed").eq(0)))
+        .aggregate(["cdn"], [sum_("bytes", "total_bytes"), count("sessions")])
+    )
+
+
+def c6() -> PlanNode:
+    """UDF bucketing + nested scalar average."""
+    avg_play = _sessions().aggregate([], [avg("play_time", "avg_play")])
+    bucket = Func(
+        "join_time_bucket",
+        join_time_bucket,
+        [col("join_time")],
+        out_type=ColumnType.FLOAT,
+        vectorized=True,
+    )
+    return (
+        _sessions()
+        .join(avg_play, keys=[])
+        .select(col("play_time") > col("avg_play"))
+        .project([("bucket", bucket), ("play_time", "play_time")])
+        .aggregate(["bucket"], [count("engaged_sessions"), avg("play_time", "avg_play2")])
+    )
+
+
+def c7() -> PlanNode:
+    """UDF engagement score compared against its average."""
+    score = Func(
+        "engagement_score",
+        engagement_score,
+        [col("play_time"), col("rebuffer_count")],
+        out_type=ColumnType.FLOAT,
+        vectorized=True,
+    )
+    scored = _sessions().project(
+        [("cdn", "cdn"), ("score", score), ("bytes", "bytes")]
+    )
+    avg_score = scored.aggregate([], [avg("score", "avg_score")])
+    return (
+        scored.join(avg_score, keys=[])
+        .select(col("score") > col("avg_score") * 1.5)
+        .aggregate(["cdn"], [count("highly_engaged"), sum_("bytes", "engaged_bytes")])
+    )
+
+
+def c8() -> PlanNode:
+    """UDAF geometric-mean bitrate over slow-buffering sessions by CDN
+    (the Figure 7(a) query)."""
+    avg_buffer = _sessions().aggregate([], [avg("buffer_time", "avg_buffer")])
+    return (
+        _sessions()
+        .join(avg_buffer, keys=[])
+        .select(col("buffer_time") > col("avg_buffer"))
+        .aggregate(["cdn"], [geomean("bitrate", "gm_bitrate"), count("sessions")])
+    )
+
+
+def c9() -> PlanNode:
+    """UDAF stddev of join time for slow joiners, per ISP (correlated)."""
+    avg_join = _sessions().aggregate(["isp"], [avg("join_time", "avg_join")])
+    return (
+        _sessions()
+        .join(avg_join.rename({"isp": "isp2"}), keys=[("isp", "isp2")])
+        .select(col("join_time") > col("avg_join"))
+        .aggregate(["isp"], [stddev("join_time", "sd_join"), count("slow_joins")])
+    )
+
+
+def c10() -> PlanNode:
+    """UDAF + HAVING: geometric-mean play time for big states only."""
+    per_state = _sessions().aggregate(
+        ["state"], [geomean("play_time", "gm_play"), count("sessions")]
+    )
+    avg_sessions = per_state.aggregate([], [avg("sessions", "avg_sessions")])
+    return (
+        per_state.join(avg_sessions, keys=[])
+        .select(col("sessions") > col("avg_sessions"))
+        .project([("state", "state"), ("gm_play", "gm_play")])
+    )
+
+
+def c11() -> PlanNode:
+    """Flat SPJA with a dimension join: tier-1 delivery cost by CDN."""
+    return (
+        _sessions()
+        .join(_cdn_info().rename({"cdn": "cdn_d"}), keys=[("cdn", "cdn_d")])
+        .select(col("tier").eq(1))
+        .aggregate(
+            ["cdn"],
+            [sum_(col("bytes") * col("cost_per_gb") / 1e9, "delivery_cost")],
+        )
+    )
+
+
+def c12() -> PlanNode:
+    """Flat: footprint by ISP."""
+    return _sessions().aggregate(
+        ["isp"], [count("sessions"), avg("bitrate", "avg_bitrate")]
+    )
+
+
+CONVIVA_QUERIES: dict[str, QuerySpec] = {
+    "C1": QuerySpec("C1", c1, "sessions", True, "slow buffering impact (nested)"),
+    "C2": QuerySpec("C2", c2, "sessions", True, "slow joins per CDN (correlated)"),
+    "C3": QuerySpec("C3", c3, "sessions", False, "viewing by state (flat)"),
+    "C4": QuerySpec("C4", c4, "sessions", True, "popular contents (agg of agg)"),
+    "C5": QuerySpec("C5", c5, "sessions", False, "healthy HD traffic (flat)"),
+    "C6": QuerySpec("C6", c6, "sessions", True, "UDF buckets + nested avg"),
+    "C7": QuerySpec("C7", c7, "sessions", True, "UDF engagement vs average"),
+    "C8": QuerySpec("C8", c8, "sessions", True, "UDAF geomean (Fig 7a query)"),
+    "C9": QuerySpec("C9", c9, "sessions", True, "UDAF stddev (correlated)"),
+    "C10": QuerySpec("C10", c10, "sessions", True, "UDAF + HAVING"),
+    "C11": QuerySpec("C11", c11, "sessions", False, "dimension join (flat SPJA)"),
+    "C12": QuerySpec("C12", c12, "sessions", False, "footprint by ISP (flat)"),
+}

@@ -1,0 +1,90 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.relational import (
+    Catalog,
+    ColumnType,
+    Relation,
+    Schema,
+    relation_from_columns,
+)
+from repro.workloads import generate_conviva, generate_tpch
+
+KX_SCHEMA = Schema(
+    [("k", ColumnType.INT), ("x", ColumnType.FLOAT), ("y", ColumnType.FLOAT)]
+)
+
+DIM_SCHEMA = Schema([("k", ColumnType.INT), ("label", ColumnType.STRING)])
+
+
+@pytest.fixture
+def kx_relation() -> Relation:
+    """A deterministic 12-row relation over (k, x, y)."""
+    return relation_from_columns(
+        KX_SCHEMA,
+        k=[0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3],
+        x=[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0],
+        y=[10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0],
+    )
+
+
+@pytest.fixture
+def dim_relation() -> Relation:
+    return relation_from_columns(
+        DIM_SCHEMA, k=[0, 1, 2, 3], label=["a", "b", "c", "d"]
+    )
+
+
+@pytest.fixture
+def kx_catalog(kx_relation, dim_relation) -> Catalog:
+    return Catalog({"t": kx_relation, "dim": dim_relation})
+
+
+def random_kx(n: int = 2000, seed: int = 0, groups: int = 8) -> Relation:
+    """A random relation for statistical/e2e tests."""
+    rng = np.random.default_rng(seed)
+    return relation_from_columns(
+        KX_SCHEMA,
+        k=rng.integers(0, groups, n),
+        x=rng.gamma(4.0, 5.0, n),
+        y=rng.normal(100.0, 20.0, n),
+    )
+
+
+@pytest.fixture(scope="session")
+def tpch_small():
+    return generate_tpch(scale=0.15, seed=7)
+
+
+@pytest.fixture(scope="session")
+def conviva_small():
+    return generate_conviva(scale=0.15, seed=7)
+
+
+def sig_round(value, sig: int = 8):
+    """Round floats to ``sig`` significant digits (magnitude-aware)."""
+    import math
+
+    if isinstance(value, float) or str(type(value)).find("float") >= 0:
+        f = float(value)
+        if f == 0 or math.isnan(f) or math.isinf(f):
+            return f
+        return round(f, sig - 1 - int(math.floor(math.log10(abs(f)))))
+    return value
+
+
+def bags_close(a, b, sig: int = 8) -> bool:
+    """Bag equality with relative (significant-digit) float comparison."""
+
+    def norm(rel):
+        out = {}
+        for row, mult in zip(rel.iter_rows(), rel.mult):
+            key = tuple(sig_round(row[c], sig) for c in rel.schema.names)
+            out[key] = round(out.get(key, 0.0) + float(mult), 6)
+        return {k: v for k, v in out.items() if v != 0}
+
+    return norm(a) == norm(b)

@@ -1,0 +1,164 @@
+"""Unit tests for aggregate functions, including UDAFs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational import (
+    Avg,
+    Count,
+    DecomposableUDAF,
+    GeometricMean,
+    HolisticUDAF,
+    Max,
+    Min,
+    Stddev,
+    Sum,
+    Variance,
+    avg,
+    col,
+    count,
+    geomean,
+    max_,
+    min_,
+    stddev,
+    sum_,
+    var,
+)
+from repro.relational.aggregates import AGG_FUNCTIONS, AggSpec
+
+VALUES = np.array([2.0, 4.0, 6.0])
+W = np.array([1.0, 1.0, 1.0])
+
+
+class TestBuiltins:
+    def test_count_is_total_weight(self):
+        assert Count().compute(VALUES, np.array([1.0, 2.0, 0.5])) == 3.5
+
+    def test_sum_weighted(self):
+        assert Sum().compute(VALUES, np.array([1.0, 0.0, 2.0])) == 14.0
+
+    def test_avg(self):
+        assert Avg().compute(VALUES, W) == 4.0
+
+    def test_avg_weighted(self):
+        assert Avg().compute(VALUES, np.array([3.0, 0.0, 1.0])) == 3.0
+
+    def test_avg_zero_weight_is_nan(self):
+        assert math.isnan(Avg().compute(VALUES, np.zeros(3)))
+
+    def test_variance(self):
+        assert Variance().compute(VALUES, W) == pytest.approx(8.0 / 3.0)
+
+    def test_variance_non_negative_on_constant(self):
+        assert Variance().compute(np.array([5.0, 5.0]), np.ones(2)) == 0.0
+
+    def test_stddev(self):
+        assert Stddev().compute(VALUES, W) == pytest.approx(math.sqrt(8.0 / 3.0))
+
+    def test_geomean(self):
+        out = GeometricMean().compute(np.array([1.0, 8.0]), np.ones(2))
+        assert out == pytest.approx(math.sqrt(8.0))
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ExpressionError):
+            GeometricMean().compute(np.array([0.0, 1.0]), np.ones(2))
+
+    def test_min_ignores_zero_weight(self):
+        assert Min().compute(VALUES, np.array([0.0, 1.0, 1.0])) == 4.0
+
+    def test_max(self):
+        assert Max().compute(VALUES, W) == 6.0
+
+    def test_min_empty_is_nan(self):
+        assert math.isnan(Min().compute(np.array([]), np.array([])))
+
+    def test_minmax_not_hadamard_differentiable(self):
+        assert not Min().hadamard_differentiable
+        assert not Max().hadamard_differentiable
+
+    def test_scaling_flags(self):
+        assert Sum().scales_with_m and Count().scales_with_m
+        assert not Avg().scales_with_m
+        assert not Stddev().scales_with_m
+
+    def test_trial_broadcast_finalize(self):
+        # finalize must broadcast over a leading trials axis.
+        f = Avg()
+        sums = np.array([[[6.0], [12.0]]])  # (1 group, 2 trials, 1 feature)
+        weights = np.array([[3.0, 3.0]])
+        out = f.finalize(sums, weights)
+        assert out.shape == (1, 2)
+        assert list(out[0]) == [2.0, 4.0]
+
+
+class TestUDAF:
+    def test_decomposable_udaf(self):
+        harmonic = DecomposableUDAF(
+            "harmonic",
+            [lambda x: 1.0 / x],
+            lambda sums, w: np.where(w != 0, w / sums[..., 0], np.nan),
+        )
+        out = harmonic.compute(np.array([1.0, 2.0]), np.ones(2))
+        assert out == pytest.approx(4.0 / 3.0)
+
+    def test_decomposable_udaf_is_decomposable(self):
+        udaf = DecomposableUDAF("f", [lambda x: x], lambda s, w: s[..., 0])
+        assert udaf.decomposable
+        assert udaf.num_features == 1
+
+    def test_holistic_udaf(self):
+        median = HolisticUDAF(
+            "median",
+            lambda values, weights: float(
+                np.median(np.repeat(values, weights.astype(int)))
+            ),
+        )
+        assert median.compute(np.array([1.0, 2.0, 9.0]), np.ones(3)) == 2.0
+
+    def test_holistic_not_decomposable(self):
+        udaf = HolisticUDAF("f", lambda v, w: 0.0)
+        assert not udaf.decomposable
+        with pytest.raises(NotImplementedError):
+            udaf.features(VALUES)
+
+
+class TestAggSpec:
+    def test_count_requires_no_arg(self):
+        spec = count("n")
+        assert spec.arg is None
+
+    def test_non_count_requires_arg(self):
+        with pytest.raises(ExpressionError):
+            AggSpec("bad", Sum())
+
+    def test_attrs(self):
+        assert sum_(col("x") * col("y"), "s").attrs() == {"x", "y"}
+
+    def test_attrs_empty_for_count(self):
+        assert count().attrs() == set()
+
+    def test_string_arg_becomes_col(self):
+        assert avg("x").attrs() == {"x"}
+
+    @pytest.mark.parametrize(
+        "helper,fname",
+        [
+            (sum_, "sum"),
+            (avg, "avg"),
+            (var, "var"),
+            (stddev, "stddev"),
+            (geomean, "geomean"),
+            (min_, "min"),
+            (max_, "max"),
+        ],
+    )
+    def test_helpers_name_defaults(self, helper, fname):
+        assert helper("x").func.name == fname
+
+    def test_registry_covers_builtins(self):
+        for name in ["count", "sum", "avg", "var", "stddev", "geomean", "min", "max"]:
+            assert name in AGG_FUNCTIONS
+            assert AGG_FUNCTIONS[name]().name == name

@@ -1,0 +1,147 @@
+"""Tests for mini-batch partitioning and the Poissonized bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.batching import BatchInfo, Partitioner, num_batches_for, shuffle_relation
+from repro.bootstrap import bootstrap_ci, bootstrap_stdev, trial_multiplicities
+from repro.errors import ReproError
+from tests.conftest import random_kx
+
+
+class TestBatchInfo:
+    def test_scale(self):
+        info = BatchInfo(batch_no=2, delta_rows=10, seen_rows=20, total_rows=100)
+        assert info.scale == 5.0
+
+    def test_scale_empty(self):
+        assert BatchInfo(1, 0, 0, 100).scale == 1.0
+
+    def test_fraction_seen(self):
+        assert BatchInfo(1, 10, 25, 100).fraction_seen == 0.25
+
+
+class TestPartitioner:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError):
+            Partitioner(mode="bogus")
+
+    def test_partitions_cover_everything_once(self):
+        parts = Partitioner(seed=1).partition_indices(100, 7)
+        merged = np.sort(np.concatenate(parts))
+        assert list(merged) == list(range(100))
+
+    def test_partition_counts(self):
+        parts = Partitioner(seed=1).partition_indices(100, 7)
+        assert len(parts) == 7
+        assert sum(len(p) for p in parts) == 100
+
+    def test_deterministic_given_seed(self):
+        a = Partitioner(seed=3).partition_indices(50, 5)
+        b = Partitioner(seed=3).partition_indices(50, 5)
+        assert all((x == y).all() for x, y in zip(a, b))
+
+    def test_different_seeds_differ(self):
+        a = Partitioner(seed=3).partition_indices(500, 5)
+        b = Partitioner(seed=4).partition_indices(500, 5)
+        assert any((x != y).any() for x, y in zip(a, b))
+
+    def test_blocks_mode_covers_everything(self):
+        parts = Partitioner(mode="blocks", seed=1, block_rows=16).partition_indices(
+            200, 4
+        )
+        merged = np.sort(np.concatenate(parts))
+        assert list(merged) == list(range(200))
+
+    def test_blocks_mode_keeps_contiguity(self):
+        parts = Partitioner(mode="blocks", seed=1, block_rows=10).partition_indices(
+            100, 2
+        )
+        # Every index shares its block (i // 10) with 9 companions somewhere
+        # in the same partition.
+        for part in parts:
+            blocks, counts = np.unique(part // 10, return_counts=True)
+            assert set(counts) == {10}
+
+    def test_more_batches_than_rows(self):
+        parts = Partitioner(seed=1).partition_indices(3, 10)
+        assert sum(len(p) for p in parts) == 3
+
+    def test_zero_batches_rejected(self):
+        with pytest.raises(ReproError):
+            Partitioner().partition_indices(10, 0)
+
+    def test_partition_materializes_relations(self):
+        rel = random_kx(100, seed=2)
+        parts = Partitioner(seed=1).partition(rel, 4)
+        assert sum(len(p) for p in parts) == 100
+
+    def test_shuffle_is_random_but_complete(self):
+        rel = random_kx(50, seed=2)
+        shuffled = shuffle_relation(rel, seed=9)
+        assert shuffled.bag_equal(rel)
+        assert list(shuffled.column("x")) != list(rel.column("x"))
+
+
+class TestNumBatchesFor:
+    def test_exact_division(self):
+        assert num_batches_for(100, 25) == 4
+
+    def test_rounds_up(self):
+        assert num_batches_for(101, 25) == 5
+
+    def test_at_least_one(self):
+        assert num_batches_for(0, 25) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            num_batches_for(100, 0)
+
+
+class TestPoissonBootstrap:
+    def test_shape(self):
+        m = trial_multiplicities(50, 30, seed=0, table="t", batch_no=1)
+        assert m.shape == (50, 30)
+
+    def test_deterministic_per_key(self):
+        a = trial_multiplicities(50, 30, seed=0, table="t", batch_no=1)
+        b = trial_multiplicities(50, 30, seed=0, table="t", batch_no=1)
+        assert (a == b).all()
+
+    def test_differs_across_batches(self):
+        a = trial_multiplicities(50, 30, seed=0, table="t", batch_no=1)
+        b = trial_multiplicities(50, 30, seed=0, table="t", batch_no=2)
+        assert (a != b).any()
+
+    def test_differs_across_tables(self):
+        a = trial_multiplicities(50, 30, seed=0, table="t", batch_no=1)
+        b = trial_multiplicities(50, 30, seed=0, table="u", batch_no=1)
+        assert (a != b).any()
+
+    def test_poisson_mean_one(self):
+        m = trial_multiplicities(5000, 20, seed=0, table="t", batch_no=1)
+        assert m.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_nonnegative_integers(self):
+        m = trial_multiplicities(100, 10, seed=0, table="t", batch_no=1)
+        assert (m >= 0).all()
+        assert (m == np.round(m)).all()
+
+    def test_stdev_estimator(self):
+        assert bootstrap_stdev(np.array([1.0, 3.0])) == pytest.approx(1.0)
+
+    def test_stdev_nan_safe(self):
+        assert bootstrap_stdev(np.array([np.nan, 2.0, 4.0])) == pytest.approx(1.0)
+
+    def test_ci(self):
+        lo, hi = bootstrap_ci(np.arange(101.0), level=0.90)
+        assert lo == pytest.approx(5.0)
+        assert hi == pytest.approx(95.0)
+
+    def test_bootstrap_stderr_matches_theory(self):
+        """Poissonized bootstrap of a mean approximates σ/√n."""
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 4.0, 1000)
+        trials = trial_multiplicities(1000, 200, seed=1, table="t", batch_no=1)
+        means = (data[:, None] * trials).sum(0) / trials.sum(0)
+        assert bootstrap_stdev(means) == pytest.approx(4.0 / np.sqrt(1000), rel=0.3)

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["SELECT 1 FROM t"])
+        assert args.workload == "conviva"
+        assert args.engine == "iolap"
+        assert args.batches == 20
+
+    def test_named_query(self):
+        args = build_parser().parse_args(["--query", "Q17", "--workload", "tpch"])
+        assert args.query == "Q17"
+
+
+class TestMain:
+    def run(self, argv, capsys):
+        code = main(argv)
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_list_queries(self, capsys):
+        code, out = self.run(["--workload", "tpch", "--list-queries"], capsys)
+        assert code == 0
+        assert "Q17" in out and "nested" in out
+
+    def test_sql_online(self, capsys):
+        code, out = self.run(
+            [
+                "SELECT cdn, COUNT(*) AS n FROM sessions GROUP BY cdn",
+                "--scale", "0.05", "--batches", "4", "--trials", "10",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "batch   4/4" in out
+        assert "exact" in out
+        assert "cdn=" in out
+
+    def test_named_query_online(self, capsys):
+        code, out = self.run(
+            ["--workload", "tpch", "--query", "Q22",
+             "--scale", "0.05", "--batches", "3", "--trials", "10"],
+            capsys,
+        )
+        assert code == 0
+        assert "exact" in out
+
+    def test_batch_engine(self, capsys):
+        code, out = self.run(
+            ["--workload", "tpch", "--query", "Q6", "--engine", "batch",
+             "--scale", "0.05"],
+            capsys,
+        )
+        assert code == 0
+        assert "batch engine" in out
+
+    def test_hda_engine(self, capsys):
+        code, out = self.run(
+            ["--workload", "tpch", "--query", "Q6", "--engine", "hda",
+             "--scale", "0.05", "--batches", "3"],
+            capsys,
+        )
+        assert code == 0
+        assert "exact" in out
+
+    def test_early_stop(self, capsys):
+        code, out = self.run(
+            [
+                "SELECT AVG(play_time) AS apt FROM sessions",
+                "--scale", "0.3", "--batches", "20", "--trials", "60",
+                "--stop-rsd", "0.05",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "stopping early" in out
+
+    def test_unknown_named_query(self, capsys):
+        code = main(["--workload", "tpch", "--query", "Q99"])
+        assert code == 2
+
+    def test_bad_sql(self, capsys):
+        code = main(["SELEKT oops", "--scale", "0.05"])
+        assert code == 2
+
+    def test_nothing_to_run(self):
+        assert main(["--workload", "tpch"]) == 2
+
+    def test_max_rows_truncation(self, capsys):
+        code, out = self.run(
+            [
+                "SELECT state, COUNT(*) AS n FROM sessions GROUP BY state",
+                "--scale", "0.05", "--batches", "2", "--trials", "5",
+                "--max-rows", "3",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "more rows" in out

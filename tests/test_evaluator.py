@@ -1,0 +1,200 @@
+"""Unit tests for the reference batch evaluator (bag semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.relational import (
+    Catalog,
+    ColumnType,
+    EvalStats,
+    Relation,
+    Schema,
+    avg,
+    col,
+    count,
+    evaluate,
+    max_,
+    min_,
+    relation_from_columns,
+    scan,
+    stddev,
+    sum_,
+)
+
+T = Schema([("k", ColumnType.INT), ("x", ColumnType.FLOAT)])
+D = Schema([("k", ColumnType.INT), ("label", ColumnType.STRING)])
+
+
+@pytest.fixture
+def cat():
+    t = relation_from_columns(T, k=[0, 0, 1, 1, 2], x=[1.0, 2.0, 3.0, 4.0, 5.0])
+    d = relation_from_columns(D, k=[0, 1], label=["a", "b"])
+    return Catalog({"t": t, "d": d})
+
+
+class TestScanSelect:
+    def test_scan(self, cat):
+        out = evaluate(scan("t", T), cat)
+        assert len(out) == 5
+
+    def test_select_filters(self, cat):
+        out = evaluate(scan("t", T).select(col("x") > 2.5), cat)
+        assert sorted(out.column("x")) == [3.0, 4.0, 5.0]
+
+    def test_select_preserves_multiplicities(self, cat):
+        weighted = cat.get("t").scale(2.0)
+        out = evaluate(scan("t", T).select(col("x") > 4.0), cat.replace("t", weighted))
+        assert out.total_multiplicity() == 2.0
+
+    def test_select_empty_result(self, cat):
+        out = evaluate(scan("t", T).select(col("x") > 100.0), cat)
+        assert len(out) == 0
+
+
+class TestProject:
+    def test_computed_column(self, cat):
+        out = evaluate(scan("t", T).project([("double", col("x") * 2)]), cat)
+        assert sorted(out.column("double")) == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_no_dedup(self, cat):
+        out = evaluate(scan("t", T).project([("k", "k")]), cat)
+        assert len(out) == 5  # SQL projection keeps duplicates
+
+
+class TestJoin:
+    def test_inner_join_drops_unmatched(self, cat):
+        plan = scan("t", T).join(scan("d", D), keys=["k"])
+        out = evaluate(plan, cat)
+        assert len(out) == 4  # k=2 rows have no dimension match
+
+    def test_join_multiplicities_multiply(self, cat):
+        t2 = cat.get("t").scale(2.0)
+        d2 = cat.get("d").scale(3.0)
+        plan = scan("t", T).join(scan("d", D), keys=["k"])
+        out = evaluate(plan, Catalog({"t": t2, "d": d2}))
+        assert set(out.mult) == {6.0}
+
+    def test_cross_join_size(self, cat):
+        s = Schema([("y", ColumnType.FLOAT)])
+        small = relation_from_columns(s, y=[9.0, 8.0])
+        plan = scan("t", T).join(scan("s", s), keys=[])
+        out = evaluate(plan, Catalog({"t": cat.get("t"), "s": small}))
+        assert len(out) == 10
+
+    def test_join_trials_multiply(self, cat):
+        t = cat.get("t").with_mult(cat.get("t").mult, np.full((5, 2), 2.0))
+        plan = scan("t", T).join(scan("d", D), keys=["k"])
+        out = evaluate(plan, Catalog({"t": t, "d": cat.get("d")}))
+        assert out.trial_mults is not None
+        assert set(out.trial_mults.ravel()) == {2.0}
+
+    def test_fanout_join(self):
+        left = relation_from_columns(T, k=[0, 0], x=[1.0, 2.0])
+        right = relation_from_columns(D, k=[0, 0], label=["a", "b"])
+        plan = scan("l", T).join(scan("r", D), keys=["k"])
+        out = evaluate(plan, Catalog({"l": left, "r": right}))
+        assert len(out) == 4
+
+
+class TestUnionDistinct:
+    def test_union_is_bag(self, cat):
+        plan = scan("t", T).union(scan("t", T))
+        assert evaluate(plan, cat).total_multiplicity() == 10.0
+
+    def test_distinct(self, cat):
+        plan = scan("t", T).distinct(["k"])
+        out = evaluate(plan, cat)
+        assert sorted(out.column("k")) == [0, 1, 2]
+        assert set(out.mult) == {1.0}
+
+    def test_distinct_ignores_zero_mult(self):
+        t = relation_from_columns(T, k=[0, 1], x=[1.0, 2.0]).with_mult(
+            np.array([1.0, 0.0]), None
+        )
+        out = evaluate(scan("t", T).distinct(["k"]), Catalog({"t": t}))
+        assert list(out.column("k")) == [0]
+
+
+class TestAggregate:
+    def test_scalar_aggregate(self, cat):
+        out = evaluate(scan("t", T).aggregate([], [sum_("x", "sx"), count("n")]), cat)
+        assert out.row(0) == {"sx": 15.0, "n": 5.0}
+
+    def test_grouped(self, cat):
+        out = evaluate(scan("t", T).aggregate(["k"], [avg("x", "ax")]), cat)
+        by_k = {r["k"]: r["ax"] for r in out.iter_rows()}
+        assert by_k == {0: 1.5, 1: 3.5, 2: 5.0}
+
+    def test_weighted_aggregate(self, cat):
+        scaled = cat.get("t").scale(3.0)
+        out = evaluate(
+            scan("t", T).aggregate([], [sum_("x", "sx"), count("n"), avg("x", "ax")]),
+            cat.replace("t", scaled),
+        )
+        row = out.row(0)
+        assert row["sx"] == 45.0
+        assert row["n"] == 15.0
+        assert row["ax"] == 3.0  # AVG is scale-free
+
+    def test_minmax(self, cat):
+        out = evaluate(scan("t", T).aggregate(["k"], [min_("x", "lo"), max_("x", "hi")]), cat)
+        by_k = {r["k"]: (r["lo"], r["hi"]) for r in out.iter_rows()}
+        assert by_k[0] == (1.0, 2.0)
+
+    def test_stddev_grouped(self, cat):
+        out = evaluate(scan("t", T).aggregate(["k"], [stddev("x", "sd")]), cat)
+        by_k = {r["k"]: r["sd"] for r in out.iter_rows()}
+        assert by_k[0] == pytest.approx(0.5)
+
+    def test_group_order_first_appearance(self):
+        t = relation_from_columns(T, k=[5, 1, 5, 3], x=[1.0, 2.0, 3.0, 4.0])
+        out = evaluate(scan("t", T).aggregate(["k"], [count("n")]), Catalog({"t": t}))
+        assert list(out.column("k")) == [5, 1, 3]
+
+    def test_scalar_aggregate_on_empty(self):
+        t = Relation.empty(T)
+        out = evaluate(scan("t", T).aggregate([], [count("n")]), Catalog({"t": t}))
+        assert out.row(0)["n"] == 0.0
+
+    def test_grouped_aggregate_on_empty(self):
+        t = Relation.empty(T)
+        out = evaluate(scan("t", T).aggregate(["k"], [count("n")]), Catalog({"t": t}))
+        assert len(out) == 0
+
+    def test_expression_argument(self, cat):
+        out = evaluate(
+            scan("t", T).aggregate([], [sum_(col("x") * col("x"), "sq")]), cat
+        )
+        assert out.row(0)["sq"] == 55.0
+
+    def test_multi_column_group(self):
+        s = Schema([("a", ColumnType.INT), ("b", ColumnType.STRING), ("x", ColumnType.FLOAT)])
+        t = relation_from_columns(s, a=[1, 1, 2], b=["u", "u", "v"], x=[1.0, 2.0, 3.0])
+        out = evaluate(scan("t", s).aggregate(["a", "b"], [sum_("x", "sx")]), Catalog({"t": t}))
+        assert len(out) == 2
+
+
+class TestNestedPlan:
+    def test_sbi_shape(self, cat):
+        inner = scan("t", T).aggregate([], [avg("x", "ax")])
+        plan = (
+            scan("t", T)
+            .join(inner, keys=[])
+            .select(col("x") > col("ax"))
+            .aggregate([], [count("above")])
+        )
+        out = evaluate(plan, cat)
+        assert out.row(0)["above"] == 2.0  # x in {4, 5} above mean 3
+
+
+class TestStats:
+    def test_rows_processed_counted(self, cat):
+        stats = EvalStats()
+        evaluate(scan("t", T).select(col("x") > 0), cat, stats)
+        assert stats.rows_processed == 10  # scan(5) + select(5)
+        assert stats.rows_by_operator["select"] == 5
+
+    def test_bytes_shipped_on_join(self, cat):
+        stats = EvalStats()
+        evaluate(scan("t", T).join(scan("d", D), keys=["k"]), cat, stats)
+        assert stats.bytes_shipped > 0

@@ -1,0 +1,118 @@
+"""Tests for metrics accounting and partial-result ergonomics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.result import PartialResult
+from repro.core.values import UncertainValue
+from repro.metrics import BatchMetrics, RunMetrics
+from repro.relational import ColumnType, Schema
+
+
+class TestBatchMetrics:
+    def test_add_state_accumulates(self):
+        bm = BatchMetrics(1)
+        bm.add_state("join:1", 100)
+        bm.add_state("join:1", 50)
+        bm.add_state("select:2", 10)
+        assert bm.state_bytes["join:1"] == 150
+        assert bm.total_state_bytes == 160
+
+    def test_state_bytes_matching_prefix(self):
+        bm = BatchMetrics(1)
+        bm.add_state("join:1", 100)
+        bm.add_state("aggregate:2", 10)
+        assert bm.state_bytes_matching("join") == 100
+        assert bm.state_bytes_matching("") == 110
+
+
+class TestRunMetrics:
+    def make(self, seconds=(1.0, 2.0, 3.0)):
+        rm = RunMetrics()
+        for i, s in enumerate(seconds, 1):
+            bm = rm.start_batch(i)
+            bm.wall_seconds = s
+            bm.recomputed_tuples = i * 10
+            bm.shipped_bytes = i * 100
+        return rm
+
+    def test_totals(self):
+        rm = self.make()
+        assert rm.total_seconds == 6.0
+        assert rm.total_recomputed == 60
+        assert rm.total_shipped_bytes == 600
+
+    def test_seconds_until_fraction(self):
+        rm = self.make()
+        assert rm.seconds_until_fraction(1 / 3) == 1.0
+        assert rm.seconds_until_fraction(2 / 3) == 3.0
+        assert rm.seconds_until_fraction(1.0) == 6.0
+
+    def test_seconds_until_fraction_minimum_one_batch(self):
+        rm = self.make()
+        assert rm.seconds_until_fraction(0.0001) == 1.0
+
+    def test_recoveries_counted(self):
+        rm = self.make()
+        rm.batches[1].recovered = True
+        assert rm.num_recoveries == 1
+
+    def test_state_aggregation(self):
+        rm = self.make()
+        rm.batches[0].add_state("join:x", 500)
+        rm.batches[2].add_state("join:x", 900)
+        assert rm.max_state_bytes("join") == 900
+        assert rm.avg_state_bytes("join") == pytest.approx((500 + 900) / 3)
+
+
+SCHEMA = Schema([("k", ColumnType.INT), ("v", ColumnType.FLOAT)])
+
+
+def make_partial(rows, batch_no=1, num_batches=4):
+    return PartialResult(
+        batch_no=batch_no,
+        num_batches=num_batches,
+        fraction_processed=batch_no / num_batches,
+        schema=SCHEMA,
+        rows=rows,
+        metrics=BatchMetrics(batch_no),
+    )
+
+
+def uv(value, trials):
+    return UncertainValue(value, np.asarray(trials, dtype=float))
+
+
+class TestPartialResult:
+    def test_to_plain_rows_collapses(self):
+        p = make_partial([{"k": 1, "v": uv(2.0, [1.0, 3.0])}])
+        assert p.to_plain_rows() == [{"k": 1, "v": 2.0}]
+
+    def test_to_relation(self):
+        p = make_partial([{"k": 1, "v": uv(2.0, [1.0, 3.0])}])
+        rel = p.to_relation()
+        assert rel.schema == SCHEMA
+        assert rel.row(0)["v"] == 2.0
+
+    def test_max_relative_stdev(self):
+        p = make_partial(
+            [
+                {"k": 1, "v": uv(10.0, [9.0, 11.0])},
+                {"k": 2, "v": uv(10.0, [5.0, 15.0])},
+            ]
+        )
+        assert p.max_relative_stdev() == pytest.approx(0.5)
+
+    def test_max_relative_stdev_nan_when_plain(self):
+        p = make_partial([{"k": 1, "v": 2.0}])
+        assert math.isnan(p.max_relative_stdev())
+
+    def test_confidence_intervals_only_uncertain_cells(self):
+        p = make_partial([{"k": 1, "v": uv(2.0, [1.0, 3.0])}])
+        assert set(p.confidence_intervals()[0]) == {"v"}
+
+    def test_sorted_plain_rows(self):
+        p = make_partial([{"k": 2, "v": 1.0}, {"k": 1, "v": 2.0}])
+        assert [r["k"] for r in p.sorted_plain_rows()] == [1, 2]

@@ -1,0 +1,251 @@
+"""Tests for the rule-based plan optimizer (semantics-preserving rewrites)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Catalog,
+    Join,
+    Project,
+    Scan,
+    Select,
+    avg,
+    col,
+    count,
+    evaluate,
+    lit,
+    relation_from_columns,
+    scan,
+    sum_,
+)
+from repro.relational.optimizer import (
+    drop_trivial_selects,
+    merge_selects,
+    optimize,
+    prune_projections,
+    push_down_predicates,
+)
+from tests.conftest import DIM_SCHEMA, KX_SCHEMA, random_kx
+
+fuzz = settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def catalog(seed=0):
+    dim = relation_from_columns(DIM_SCHEMA, k=list(range(6)), label=list("abcdef"))
+    return Catalog({"t": random_kx(400, seed=seed, groups=6), "dim": dim})
+
+
+def equivalent(plan, cat):
+    optimized = optimize(plan, cat.schemas())
+    assert evaluate(plan, cat).bag_equal(evaluate(optimized, cat), 4)
+    return optimized
+
+
+class TestMergeSelects:
+    def test_adjacent_selects_merge(self):
+        plan = scan("t", KX_SCHEMA).select(col("x") > 1).select(col("y") > 2)
+        merged = merge_selects(plan)
+        assert isinstance(merged, Select)
+        assert isinstance(merged.child, Scan)
+
+    def test_triple_stack(self):
+        plan = (
+            scan("t", KX_SCHEMA)
+            .select(col("x") > 1)
+            .select(col("y") > 2)
+            .select(col("k") > 0)
+        )
+        merged = merge_selects(plan)
+        assert isinstance(merged.child, Scan)
+
+    def test_semantics(self):
+        cat = catalog()
+        plan = scan("t", KX_SCHEMA).select(col("x") > 10).select(col("y") > 90)
+        equivalent(plan, cat)
+
+
+class TestTrivialSelects:
+    def test_true_filter_removed(self):
+        plan = scan("t", KX_SCHEMA).select(lit(True))
+        assert isinstance(drop_trivial_selects(plan), Scan)
+
+    def test_true_conjunct_removed(self):
+        plan = scan("t", KX_SCHEMA).select(lit(True) & (col("x") > 1))
+        out = drop_trivial_selects(plan)
+        assert isinstance(out, Select)
+        assert "True" not in repr(out.predicate)
+
+
+class TestPushdown:
+    def test_through_projection_passthrough(self):
+        cat = catalog()
+        plan = (
+            scan("t", KX_SCHEMA)
+            .project([("k", "k"), ("x", "x")])
+            .select(col("x") > 10)
+        )
+        out = push_down_predicates(plan, cat.schemas())
+        assert isinstance(out, Project)
+        assert isinstance(out.child, Select)
+        equivalent(plan, cat)
+
+    def test_blocked_by_computed_projection(self):
+        cat = catalog()
+        plan = (
+            scan("t", KX_SCHEMA)
+            .project([("z", col("x") * 2)])
+            .select(col("z") > 10)
+        )
+        out = push_down_predicates(plan, cat.schemas())
+        assert isinstance(out, Select)  # stays above the projection
+        equivalent(plan, cat)
+
+    def test_into_left_join_side(self):
+        cat = catalog()
+        plan = (
+            scan("t", KX_SCHEMA)
+            .join(scan("dim", DIM_SCHEMA), keys=["k"])
+            .select(col("x") > 10)
+        )
+        out = push_down_predicates(plan, cat.schemas())
+        assert isinstance(out, Join)
+        assert isinstance(out.left, Select)
+        equivalent(plan, cat)
+
+    def test_into_right_join_side(self):
+        cat = catalog()
+        plan = (
+            scan("t", KX_SCHEMA)
+            .join(scan("dim", DIM_SCHEMA), keys=["k"])
+            .select(col("label").eq("a"))
+        )
+        out = push_down_predicates(plan, cat.schemas())
+        assert isinstance(out.right, Select)
+        equivalent(plan, cat)
+
+    def test_key_predicate_maps_to_right_key_name(self):
+        cat = catalog()
+        renamed_dim = scan("dim", DIM_SCHEMA).rename({"k": "dk"})
+        plan = (
+            scan("t", KX_SCHEMA)
+            .join(renamed_dim, keys=[("k", "dk")])
+            .select(col("k") > 2)
+        )
+        equivalent(plan, cat)
+
+    def test_through_rename(self):
+        cat = catalog()
+        plan = (
+            scan("t", KX_SCHEMA).rename({"x": "value"}).select(col("value") > 10)
+        )
+        out = push_down_predicates(plan, cat.schemas())
+        assert type(out).__name__ == "Rename"
+        equivalent(plan, cat)
+
+    def test_into_both_union_branches(self):
+        cat = catalog()
+        plan = (
+            scan("t", KX_SCHEMA)
+            .union(scan("t", KX_SCHEMA))
+            .select(col("x") > 10)
+        )
+        out = push_down_predicates(plan, cat.schemas())
+        assert type(out).__name__ == "Union"
+        equivalent(plan, cat)
+
+    def test_stops_at_aggregate(self):
+        cat = catalog()
+        plan = (
+            scan("t", KX_SCHEMA)
+            .aggregate(["k"], [count("n")])
+            .select(col("n") > 50)
+        )
+        out = push_down_predicates(plan, cat.schemas())
+        assert isinstance(out, Select)
+        equivalent(plan, cat)
+
+
+class TestProjectionPruning:
+    def test_narrows_scan(self):
+        cat = catalog()
+        plan = scan("t", KX_SCHEMA).aggregate([], [sum_("x", "sx")])
+        out = prune_projections(plan, cat.schemas())
+        assert isinstance(out.child, Project)
+        assert out.child.output_schema(cat.schemas()).names == ["x"]
+        equivalent(plan, cat)
+
+    def test_keeps_predicate_columns(self):
+        cat = catalog()
+        plan = (
+            scan("t", KX_SCHEMA)
+            .select(col("y") > 0)
+            .aggregate([], [sum_("x", "sx")])
+        )
+        out = prune_projections(plan, cat.schemas())
+        names = out.child.child.output_schema(cat.schemas()).names
+        assert set(names) == {"x", "y"}
+        equivalent(plan, cat)
+
+    def test_keeps_join_keys(self):
+        cat = catalog()
+        plan = (
+            scan("t", KX_SCHEMA)
+            .join(scan("dim", DIM_SCHEMA), keys=["k"])
+            .aggregate(["label"], [count("n")])
+        )
+        equivalent(plan, cat)
+
+    def test_full_schema_untouched(self):
+        cat = catalog()
+        plan = scan("t", KX_SCHEMA).select(col("x") > 0)
+        out = prune_projections(plan, cat.schemas())
+        assert isinstance(out.child, Scan)
+
+
+class TestOptimizeEndToEnd:
+    @fuzz
+    @given(st.integers(0, 500), st.floats(5.0, 40.0))
+    def test_fuzzed_equivalence(self, seed, threshold):
+        cat = catalog(seed)
+        plan = (
+            scan("t", KX_SCHEMA)
+            .project([("k", "k"), ("x", "x"), ("y", "y")])
+            .select(col("x") > threshold)
+            .join(scan("dim", DIM_SCHEMA), keys=["k"])
+            .select(col("label").ne("c"))
+            .aggregate(["label"], [sum_("y", "sy"), count("n")])
+        )
+        equivalent(plan, cat)
+
+    def test_online_engine_runs_optimized_plans(self):
+        from repro.core import OnlineConfig, OnlineQueryEngine
+
+        cat = catalog()
+        inner = scan("t", KX_SCHEMA).aggregate([], [avg("x", "ax")])
+        plan = (
+            scan("t", KX_SCHEMA)
+            .join(inner, keys=[])
+            .select((col("x") > col("ax")) & (col("y") > 0))
+            .aggregate(["k"], [count("n")])
+        )
+        optimized = optimize(plan, cat.schemas())
+        exact = evaluate(plan, cat)
+        engine = OnlineQueryEngine(cat, "t", OnlineConfig(num_trials=15, seed=3))
+        final = engine.run_to_completion(optimized, 5)
+        assert final.to_relation().bag_equal(exact, 3)
+
+    def test_reaches_fixpoint(self):
+        cat = catalog()
+        plan = (
+            scan("t", KX_SCHEMA)
+            .select(col("x") > 1)
+            .select(col("y") > 1)
+            .aggregate(["k"], [count("n")])
+        )
+        once = optimize(plan, cat.schemas())
+        twice = optimize(once, cat.schemas())
+        from repro.baselines.viewlet import plans_equal
+
+        assert plans_equal(once, twice)

@@ -1,0 +1,215 @@
+"""Tests for the range monitor and the sentinel integrity guards."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import (
+    BlockOutput,
+    GroupValue,
+    OnlineConfig,
+    RuntimeContext,
+)
+from repro.core.ranges import RangeMonitor
+from repro.core.sentinels import MembershipSentinels, SentinelStore
+from repro.core.values import LineageRef, UncertainValue, VariationRange
+from repro.errors import RangeIntegrityError
+from repro.relational import Catalog, ColumnType, Relation, Schema
+from repro.relational.expressions import Col, Comparison, Literal
+
+CELL = (1, (), "v")
+
+
+def make_ctx(num_trials=4) -> RuntimeContext:
+    ctx = RuntimeContext(
+        Catalog({}), "t", total_rows=100, config=OnlineConfig(num_trials=num_trials)
+    )
+    ctx.batch_no = 1
+    return ctx
+
+
+def publish(ctx, block_id, key, colname, value, trials, member_point=True, certain=True):
+    out = ctx.blocks.get(block_id) or BlockOutput(block_id, [], [colname])
+    uv = UncertainValue(
+        value, np.asarray(trials, dtype=float), lineage=LineageRef(block_id, key, colname)
+    )
+    out.publish(
+        GroupValue(key, {colname: uv}, certain, member_point=member_point), is_new=True
+    )
+    ctx.blocks[block_id] = out
+
+
+class TestRangeMonitor:
+    def test_observe_returns_fresh_range(self):
+        mon = RangeMonitor(slack=0.0)
+        r = mon.observe(CELL, 1, 2.0, np.array([1.0, 3.0]))
+        assert (r.lo, r.hi) == (1.0, 3.0)
+
+    def test_range_includes_running_value(self):
+        mon = RangeMonitor(slack=0.0)
+        r = mon.observe(CELL, 1, 10.0, np.array([1.0, 3.0]))
+        assert r.contains_value(10.0)
+
+    def test_disabled_returns_everything(self):
+        mon = RangeMonitor(enabled=False)
+        r = mon.observe(CELL, 1, 2.0, np.array([1.0, 3.0]))
+        assert r == VariationRange.everything()
+
+    def test_replaying_freezes(self):
+        mon = RangeMonitor()
+        mon.observe(CELL, 1, 2.0, np.array([1.0, 3.0]))
+        mon.replaying = True
+        assert mon.range_for(CELL) == VariationRange.everything()
+
+    def test_range_for_unknown_cell(self):
+        assert RangeMonitor().range_for(CELL) == VariationRange.everything()
+
+    def test_ranges_float_between_batches(self):
+        mon = RangeMonitor(slack=0.0)
+        mon.observe(CELL, 1, 2.0, np.array([1.0, 3.0]))
+        r2 = mon.observe(CELL, 2, 9.0, np.array([8.0, 10.0]))
+        assert (r2.lo, r2.hi) == (8.0, 10.0)  # no intersection pre-use
+
+    def test_reset(self):
+        mon = RangeMonitor(slack=0.0)
+        mon.observe(CELL, 1, 2.0, np.array([1.0, 3.0]))
+        mon.reset()
+        assert len(mon) == 0
+
+    def test_failure_counter(self):
+        mon = RangeMonitor()
+        mon.record_failure()
+        mon.record_failure()
+        assert mon.failures == 2
+
+
+SCHEMA = Schema([("d", ColumnType.FLOAT), ("u", ColumnType.FLOAT)])
+
+
+def rel_with_refs(d_values, ref):
+    n = len(d_values)
+    u = np.empty(n, dtype=object)
+    u[:] = [ref] * n
+    return Relation(
+        SCHEMA,
+        {"d": np.asarray(d_values, dtype=np.float64), "u": u},
+    )
+
+
+class TestSentinelStore:
+    def make(self):
+        cmp_ = Comparison(">", Col("d"), Col("u"))
+        return SentinelStore([cmp_], {"u"}), cmp_
+
+    def test_empty_check_passes(self):
+        store, _ = self.make()
+        store.check(make_ctx())
+
+    def test_holding_decision_passes(self):
+        store, _ = self.make()
+        ctx = make_ctx()
+        ref = LineageRef(1, (), "v")
+        publish(ctx, 1, (), "v", 10.0, [9.0, 11.0])
+        rel = rel_with_refs([50.0, 2.0], ref)
+        store.record(0, rel, np.array([0]), np.array([True]))  # 50 > u resolved TRUE
+        store.record(0, rel, np.array([1]), np.array([False]))  # 2 > u resolved FALSE
+        store.check(ctx)  # point estimate 10: 50>10 ok, 2>10 false ok
+
+    def test_flip_raises(self):
+        store, _ = self.make()
+        ctx = make_ctx()
+        ref = LineageRef(1, (), "v")
+        publish(ctx, 1, (), "v", 10.0, [10.0])
+        rel = rel_with_refs([50.0], ref)
+        store.record(0, rel, np.array([0]), np.array([True]))
+        publish(ctx, 1, (), "v", 99.0, [99.0])  # estimate moved above 50
+        with pytest.raises(RangeIntegrityError, match="flipped"):
+            store.check(ctx)
+        assert ctx.monitor.failures == 1
+
+    def test_vanished_entity_raises(self):
+        store, _ = self.make()
+        ctx = make_ctx()
+        ref = LineageRef(1, ("gone",), "v")
+        rel = rel_with_refs([50.0], ref)
+        publish(ctx, 1, ("gone",), "v", 10.0, [10.0])
+        store.record(0, rel, np.array([0]), np.array([True]))
+        ctx.blocks[1] = BlockOutput(1, [], ["v"])  # group vanished
+        with pytest.raises(RangeIntegrityError, match="vanished"):
+            store.check(ctx)
+
+    def test_keeps_only_tightest(self):
+        store, _ = self.make()
+        ctx = make_ctx()
+        ref = LineageRef(1, (), "v")
+        publish(ctx, 1, (), "v", 10.0, [10.0])
+        rel = rel_with_refs([50.0, 20.0, 90.0], ref)
+        store.record(0, rel, np.arange(3), np.array([True, True, True]))
+        # One entity, one direction -> a single tightest sentinel (d=20).
+        assert len(store) == 1
+        publish(ctx, 1, (), "v", 30.0, [30.0])  # above 20: tightest flips
+        with pytest.raises(RangeIntegrityError):
+            store.check(ctx)
+
+    def test_reset(self):
+        store, _ = self.make()
+        rel = rel_with_refs([50.0], LineageRef(1, (), "v"))
+        store.record(0, rel, np.array([0]), np.array([True]))
+        store.reset()
+        assert len(store) == 0
+
+    def test_both_sides_uncertain(self):
+        cmp_ = Comparison(">", Col("u"), Literal(0.0))
+        store = SentinelStore([cmp_], {"u"})
+        ctx = make_ctx()
+        ref = LineageRef(1, (), "v")
+        publish(ctx, 1, (), "v", 5.0, [5.0])
+        rel = rel_with_refs([0.0], ref)
+        store.record(0, rel, np.array([0]), np.array([True]))
+        store.check(ctx)
+        publish(ctx, 1, (), "v", -5.0, [-5.0])
+        with pytest.raises(RangeIntegrityError):
+            store.check(ctx)
+
+
+class TestMembershipSentinels:
+    def view(self, ctx, member_point):
+        publish(ctx, 7, ("g",), "v", 1.0, [1.0], member_point=member_point)
+        return ctx.blocks[7]
+
+    def test_expected_in_holds(self):
+        ms = MembershipSentinels()
+        ctx = make_ctx()
+        ms.record(("g",), True)
+        ms.check(ctx, self.view(ctx, member_point=True))
+
+    def test_expected_in_flips(self):
+        ms = MembershipSentinels()
+        ctx = make_ctx()
+        ms.record(("g",), True)
+        with pytest.raises(RangeIntegrityError, match="membership"):
+            ms.check(ctx, self.view(ctx, member_point=False))
+
+    def test_expected_out_flips(self):
+        ms = MembershipSentinels()
+        ctx = make_ctx()
+        ms.record(("g",), False)
+        with pytest.raises(RangeIntegrityError):
+            ms.check(ctx, self.view(ctx, member_point=True))
+
+    def test_missing_group_counts_as_out(self):
+        ms = MembershipSentinels()
+        ctx = make_ctx()
+        ms.record(("g",), False)
+        ms.check(ctx, None)  # no view at all: group absent, as expected
+
+    def test_first_record_wins(self):
+        ms = MembershipSentinels()
+        ms.record(("g",), True)
+        ms.record(("g",), False)
+        assert ms.expected[("g",)] is True
+
+    def test_reset(self):
+        ms = MembershipSentinels()
+        ms.record(("g",), True)
+        ms.reset()
+        assert len(ms) == 0

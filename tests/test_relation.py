@@ -1,0 +1,202 @@
+"""Unit tests for the columnar bag relation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import ColumnType, Relation, Schema, relation_from_columns
+
+AB = Schema([("a", ColumnType.INT), ("b", ColumnType.FLOAT)])
+
+
+def make(a=(1, 2, 3), b=(1.0, 2.0, 3.0), mult=None, trials=None) -> Relation:
+    return Relation(
+        AB,
+        {"a": np.array(a, dtype=np.int64), "b": np.array(b, dtype=np.float64)},
+        None if mult is None else np.array(mult, dtype=np.float64),
+        trials,
+    )
+
+
+class TestConstruction:
+    def test_default_multiplicity_is_one(self):
+        r = make()
+        assert list(r.mult) == [1.0, 1.0, 1.0]
+
+    def test_missing_column_raises(self):
+        with pytest.raises(SchemaError, match="missing data"):
+            Relation(AB, {"a": np.array([1])})
+
+    def test_ragged_columns_raise(self):
+        with pytest.raises(SchemaError):
+            Relation(AB, {"a": np.array([1, 2]), "b": np.array([1.0])})
+
+    def test_wrong_mult_length_raises(self):
+        with pytest.raises(SchemaError):
+            make(mult=[1.0])
+
+    def test_wrong_trials_length_raises(self):
+        with pytest.raises(SchemaError):
+            make(trials=np.ones((2, 4)))
+
+    def test_empty(self):
+        r = Relation.empty(AB)
+        assert len(r) == 0
+        assert r.trial_mults is None
+
+    def test_empty_with_trials(self):
+        r = Relation.empty(AB, num_trials=5)
+        assert r.num_trials == 5
+
+    def test_from_rows(self):
+        r = Relation.from_rows(AB, [{"a": 1, "b": 2.0}, {"a": 3, "b": 4.0}])
+        assert list(r.column("a")) == [1, 3]
+
+    def test_from_rows_empty(self):
+        r = Relation.from_rows(AB, [])
+        assert len(r) == 0
+
+    def test_from_rows_validates(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows(AB, [{"a": "nope", "b": 1.0}], validate=True)
+
+    def test_relation_from_columns_helper(self):
+        r = relation_from_columns(AB, a=[1], b=[2.0])
+        assert r.row(0) == {"a": 1, "b": 2.0}
+
+
+class TestAccess:
+    def test_len(self):
+        assert len(make()) == 3
+
+    def test_column_missing_raises(self):
+        with pytest.raises(SchemaError):
+            make().column("z")
+
+    def test_row(self):
+        assert make().row(1) == {"a": 2, "b": 2.0}
+
+    def test_iter_rows(self):
+        assert len(list(make().iter_rows())) == 3
+
+    def test_total_multiplicity(self):
+        assert make(mult=[0.5, 1.5, 2.0]).total_multiplicity() == 4.0
+
+    def test_num_trials_zero_without_matrix(self):
+        assert make().num_trials == 0
+
+
+class TestTransforms:
+    def test_filter(self):
+        r = make().filter(np.array([True, False, True]))
+        assert list(r.column("a")) == [1, 3]
+
+    def test_filter_keeps_mult(self):
+        r = make(mult=[1.0, 2.0, 3.0]).filter(np.array([False, True, True]))
+        assert list(r.mult) == [2.0, 3.0]
+
+    def test_filter_slices_trials(self):
+        r = make(trials=np.arange(12.0).reshape(3, 4))
+        out = r.filter(np.array([True, False, True]))
+        assert out.trial_mults.shape == (2, 4)
+
+    def test_take_with_repetition(self):
+        r = make().take(np.array([2, 2, 0]))
+        assert list(r.column("a")) == [3, 3, 1]
+
+    def test_scale_scalar(self):
+        r = make().scale(2.5)
+        assert list(r.mult) == [2.5, 2.5, 2.5]
+
+    def test_scale_scales_trials(self):
+        r = make(trials=np.ones((3, 2))).scale(3.0)
+        assert r.trial_mults[0, 0] == 3.0
+
+    def test_scale_vector(self):
+        r = make().scale(np.array([1.0, 2.0, 3.0]))
+        assert list(r.mult) == [1.0, 2.0, 3.0]
+
+    def test_project(self):
+        r = make().project(["b"])
+        assert r.schema.names == ["b"]
+
+    def test_rename(self):
+        r = make().rename({"a": "z"})
+        assert "z" in r.schema
+        assert list(r.column("z")) == [1, 2, 3]
+
+    def test_with_column(self):
+        r = make().with_column("c", ColumnType.FLOAT, np.array([9.0, 9.0, 9.0]))
+        assert r.schema.names == ["a", "b", "c"]
+
+    def test_concat(self):
+        r = make().concat(make())
+        assert len(r) == 6
+
+    def test_concat_schema_mismatch(self):
+        other = Schema([("a", ColumnType.INT), ("c", ColumnType.FLOAT)])
+        r2 = relation_from_columns(other, a=[1], c=[1.0])
+        with pytest.raises(SchemaError):
+            make().concat(r2)
+
+    def test_concat_empty_short_circuits(self):
+        r = make()
+        assert make().concat(Relation.empty(AB)) is r or True  # no error
+        assert len(Relation.empty(AB).concat(r)) == 3
+
+    def test_concat_pads_missing_trials(self):
+        with_trials = make(trials=np.full((3, 2), 5.0))
+        without = make(mult=[2.0, 2.0, 2.0])
+        out = with_trials.concat(without)
+        # The side without trials uses its multiplicity in every trial.
+        assert out.trial_mults[3, 0] == 2.0
+
+    def test_concat_trial_width_mismatch(self):
+        a = make(trials=np.ones((3, 2)))
+        b = make(trials=np.ones((3, 3)))
+        with pytest.raises(SchemaError):
+            a.concat(b)
+
+
+class TestComparison:
+    def test_to_multiset_merges_duplicates(self):
+        r = make(a=(1, 1, 2), b=(1.0, 1.0, 2.0))
+        ms = r.to_multiset()
+        assert ms[(1, 1.0)] == 2.0
+
+    def test_to_multiset_drops_zero_mult(self):
+        r = make(mult=[0.0, 1.0, 1.0])
+        assert (1, 1.0) not in r.to_multiset()
+
+    def test_bag_equal_ignores_row_order(self):
+        a = make(a=(1, 2, 3))
+        b = a.take(np.array([2, 0, 1]))
+        assert a.bag_equal(b)
+
+    def test_bag_equal_respects_multiplicity(self):
+        a = make(mult=[1.0, 1.0, 1.0])
+        b = make(mult=[2.0, 1.0, 1.0])
+        assert not a.bag_equal(b)
+
+    def test_bag_equal_rounding(self):
+        a = make(b=(1.0000001, 2.0, 3.0))
+        b = make(b=(1.0, 2.0, 3.0))
+        assert a.bag_equal(b, ndigits=4)
+
+    def test_sort_rows(self):
+        r = make(a=(3, 1, 2))
+        assert [row["a"] for row in r.sort_rows(["a"])] == [1, 2, 3]
+
+    def test_key_tuples(self):
+        assert make().key_tuples(["a"]) == [(1,), (2,), (3,)]
+
+    def test_key_tuples_empty_keys(self):
+        assert make().key_tuples([]) == [(), (), ()]
+
+    def test_estimated_bytes_grows_with_trials(self):
+        plain = make()
+        with_trials = make(trials=np.ones((3, 10)))
+        assert with_trials.estimated_bytes() > plain.estimated_bytes()
+
+    def test_repr(self):
+        assert "n=3" in repr(make())

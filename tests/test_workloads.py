@@ -1,0 +1,146 @@
+"""Workload generators and the 22 benchmark queries.
+
+Each query is checked for the strongest property: the final online result
+equals the batch evaluator's answer on the full dataset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HDAExecutor, run_batch
+from repro.core import OnlineConfig, OnlineQueryEngine
+from tests.conftest import bags_close
+from repro.workloads import (
+    CONVIVA_QUERIES,
+    TPCH_QUERIES,
+    generate_conviva,
+    generate_tpch,
+)
+
+
+class TestTPCHGenerator:
+    def test_deterministic(self):
+        a = generate_tpch(scale=0.1, seed=5)
+        b = generate_tpch(scale=0.1, seed=5)
+        assert a.lineorder.bag_equal(b.lineorder)
+
+    def test_seeds_differ(self):
+        a = generate_tpch(scale=0.1, seed=5)
+        b = generate_tpch(scale=0.1, seed=6)
+        assert not a.lineorder.bag_equal(b.lineorder)
+
+    def test_scale_controls_size(self):
+        small = generate_tpch(scale=0.1, seed=1)
+        large = generate_tpch(scale=0.3, seed=1)
+        assert len(large.lineorder) > len(small.lineorder)
+
+    def test_foreign_keys_resolve(self, tpch_small):
+        lo = tpch_small.lineorder
+        assert lo.column("custkey").max() < len(tpch_small.customer)
+        assert lo.column("partkey").max() < len(tpch_small.part)
+        assert lo.column("suppkey").max() < len(tpch_small.supplier)
+
+    def test_catalog_tables(self, tpch_small):
+        cat = tpch_small.catalog()
+        for name in ["lineorder", "customer", "supplier", "nation", "part", "partsupp"]:
+            assert name in cat
+
+    def test_shipdate_after_orderdate(self, tpch_small):
+        lo = tpch_small.lineorder
+        assert (lo.column("shipdate") > lo.column("orderdate")).all()
+
+    def test_order_lines_share_customer(self, tpch_small):
+        lo = tpch_small.lineorder
+        seen = {}
+        for ok, ck in zip(lo.column("orderkey"), lo.column("custkey")):
+            assert seen.setdefault(ok, ck) == ck
+
+
+class TestConvivaGenerator:
+    def test_deterministic(self):
+        a = generate_conviva(scale=0.1, seed=5)
+        b = generate_conviva(scale=0.1, seed=5)
+        assert a.sessions.bag_equal(b.sessions)
+
+    def test_buffering_suppresses_play(self, conviva_small):
+        s = conviva_small.sessions
+        buf = s.column("buffer_time")
+        play = s.column("play_time")
+        fast = play[buf < np.median(buf)].mean()
+        slow = play[buf >= np.median(buf)].mean()
+        assert slow < fast  # the SBI effect the paper measures
+
+    def test_content_popularity_skewed(self, conviva_small):
+        counts = np.bincount(conviva_small.sessions.column("content_id"))
+        assert counts.max() > 4 * np.median(counts[counts > 0])
+
+    def test_cdn_info_covers_cdns(self, conviva_small):
+        cdns = set(conviva_small.sessions.column("cdn"))
+        assert cdns <= set(conviva_small.cdn_info.column("cdn"))
+
+    def test_positive_measures(self, conviva_small):
+        s = conviva_small.sessions
+        assert (s.column("bitrate") > 0).all()
+        assert (s.column("play_time") >= 0).all()
+
+
+class TestQueryCatalogs:
+    def test_tpch_has_ten_queries(self):
+        assert len(TPCH_QUERIES) == 10
+        assert {q for q, s in TPCH_QUERIES.items() if s.nested} == {
+            "Q11", "Q17", "Q18", "Q20", "Q22",
+        }
+
+    def test_conviva_has_twelve_queries(self):
+        assert len(CONVIVA_QUERIES) == 12
+
+    def test_specs_build_fresh_plans(self):
+        a = TPCH_QUERIES["Q1"].plan
+        b = TPCH_QUERIES["Q1"].plan
+        assert a.node_id != b.node_id
+
+
+@pytest.mark.parametrize("name", list(TPCH_QUERIES))
+def test_tpch_query_online_exact(name, tpch_small):
+    spec = TPCH_QUERIES[name]
+    cat = tpch_small.catalog()
+    exact = run_batch(spec.plan, cat).relation
+    eng = OnlineQueryEngine(
+        cat, spec.streamed_table, OnlineConfig(num_trials=20, seed=11)
+    )
+    final = eng.run_to_completion(spec.plan, num_batches=5)
+    assert bags_close(exact, final.to_relation(), sig=7)
+
+
+@pytest.mark.parametrize("name", list(CONVIVA_QUERIES))
+def test_conviva_query_online_exact(name, conviva_small):
+    spec = CONVIVA_QUERIES[name]
+    cat = conviva_small.catalog()
+    exact = run_batch(spec.plan, cat).relation
+    eng = OnlineQueryEngine(
+        cat, spec.streamed_table, OnlineConfig(num_trials=20, seed=11)
+    )
+    final = eng.run_to_completion(spec.plan, num_batches=5)
+    assert bags_close(exact, final.to_relation(), sig=7)
+
+
+@pytest.mark.parametrize("name", ["Q1", "Q17", "Q18"])
+def test_tpch_query_hda_exact(name, tpch_small):
+    spec = TPCH_QUERIES[name]
+    cat = tpch_small.catalog()
+    exact = run_batch(spec.plan, cat).relation
+    final = HDAExecutor(cat, spec.streamed_table, seed=11).run_to_completion(
+        spec.plan, 5
+    )
+    assert bags_close(exact, final.relation, sig=7)
+
+
+@pytest.mark.parametrize("name", ["C1", "C8", "C9"])
+def test_conviva_query_hda_exact(name, conviva_small):
+    spec = CONVIVA_QUERIES[name]
+    cat = conviva_small.catalog()
+    exact = run_batch(spec.plan, cat).relation
+    final = HDAExecutor(cat, spec.streamed_table, seed=11).run_to_completion(
+        spec.plan, 5
+    )
+    assert bags_close(exact, final.relation, sig=7)
