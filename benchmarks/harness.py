@@ -72,6 +72,14 @@ class OnlineRun:
     def seconds_at_fraction(self, fraction: float) -> float:
         return self.metrics.seconds_until_fraction(fraction)
 
+    def op_seconds(self) -> dict[str, float]:
+        """Per-operator/unit wall seconds, summed over the whole run."""
+        return self.metrics.total_op_seconds()
+
+    def top_op_seconds(self, n: int = 6) -> list[tuple[str, float]]:
+        totals = sorted(self.op_seconds().items(), key=lambda kv: -kv[1])
+        return totals[:n]
+
 
 def run_iolap(
     spec: QuerySpec,
@@ -83,6 +91,7 @@ def run_iolap(
     prune_with_ranges: bool = True,
     lazy_lineage: bool = True,
     keep_partials: bool = False,
+    executor: str = "serial",
 ) -> OnlineRun:
     catalog = catalog if catalog is not None else catalog_for(spec)
     engine = OnlineQueryEngine(
@@ -95,11 +104,13 @@ def run_iolap(
             prune_with_ranges=prune_with_ranges,
             lazy_lineage=lazy_lineage,
         ),
+        executor=executor,
     )
     partials = []
     for partial in engine.run(spec.plan, num_batches):
         if keep_partials:
             partials.append(partial)
+    engine.executor.close()
     return OnlineRun(spec, engine.metrics, partials)
 
 

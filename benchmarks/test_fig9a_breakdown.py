@@ -61,7 +61,14 @@ def test_fig9a_breakdown(benchmark):
         "no-opt": none.metrics.total_recomputed,
     }
     table += f"\n\ntotal recomputed tuples: {recomputed}"
+    top_ops = ", ".join(
+        f"{label}={seconds*1000:.1f}ms" for label, seconds in full.top_op_seconds()
+    )
+    table += f"\nper-operator time (iOLAP): {top_ops}"
     write_result("fig9a_breakdown", table)
+
+    # The per-operator breakdown must cover every pipeline of the plan.
+    assert full.op_seconds()
 
     # Shape: OPT1 bounds recomputation far below the conservative engine;
     # adding OPT2 reduces per-batch latency further (late batches, where

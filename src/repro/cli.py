@@ -70,6 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-rows", type=int, default=10, help="result rows to print per update"
     )
+    parser.add_argument(
+        "--executor", choices=["serial", "parallel"], default="serial",
+        help="batch executor for the iolap engine (default: serial)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write per-batch run metrics as JSON to PATH (iolap engine)",
+    )
     return parser
 
 
@@ -105,6 +113,10 @@ def main(argv: Sequence[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
+    if args.metrics_out and args.engine != "iolap":
+        print("--metrics-out requires --engine iolap", file=sys.stderr)
+        return 2
+
     if args.engine == "batch":
         result = run_batch(plan, catalog)
         print(f"batch engine: {result.wall_seconds*1000:.1f} ms, "
@@ -126,6 +138,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         catalog,
         streamed,
         OnlineConfig(num_trials=args.trials, slack=args.slack, seed=args.seed),
+        executor=args.executor,
     )
     partial = None
     for partial in engine.run(plan, args.batches):
@@ -141,10 +154,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.stop_rsd is not None and rsd == rsd and rsd < args.stop_rsd:
             print(f"stopping early: accuracy target {args.stop_rsd} reached")
             break
+    engine.executor.close()
     if partial is not None:
         _print_partial_rows(partial, args.max_rows)
         if engine.metrics.num_recoveries:
             print(f"(failure recoveries: {engine.metrics.num_recoveries})")
+        slowest = sorted(
+            engine.metrics.total_op_seconds().items(), key=lambda kv: -kv[1]
+        )[:3]
+        if slowest:
+            print("slowest operators: " + ", ".join(
+                f"{label} {seconds*1000:.1f} ms" for label, seconds in slowest
+            ))
+    if args.metrics_out:
+        try:
+            with open(args.metrics_out, "w") as fh:
+                fh.write(engine.metrics.to_json(indent=2))
+        except OSError as exc:
+            print(f"cannot write metrics to {args.metrics_out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 

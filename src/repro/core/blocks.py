@@ -20,6 +20,7 @@ work:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,6 +32,7 @@ from repro.errors import ReproError
 from repro.metrics.stats import BatchMetrics
 from repro.relational.catalog import Catalog
 from repro.relational.relation import Relation
+from repro.state import StateRegistry
 
 GroupKey = tuple
 
@@ -151,11 +153,40 @@ class RuntimeContext:
         self.blocks: dict[int, BlockOutput] = {}
         self.batch_no = 0
         self.seen_rows = 0
-        self.metrics: BatchMetrics = BatchMetrics(0)
+        #: Operator state stores, registered by ``SpineOp.open``; the
+        #: engine checkpoints/restores through this registry.
+        self.stores = StateRegistry()
+        self._metrics: BatchMetrics = BatchMetrics(0)
+        #: Per-thread metrics override (parallel executor workers record
+        #: into private scratch metrics merged deterministically later).
+        self._metrics_local = threading.local()
         self._delta: Relation | None = None
         #: True while replaying batches during failure recovery: range
         #: observations neither check integrity nor tighten ranges.
         self.replaying = False
+
+    # -- metrics routing -----------------------------------------------------------
+
+    @property
+    def metrics(self) -> BatchMetrics:
+        override = getattr(self._metrics_local, "stack", None)
+        if override:
+            return override[-1]
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, value: BatchMetrics) -> None:
+        self._metrics = value
+
+    def push_metrics(self, metrics: BatchMetrics) -> None:
+        """Route this thread's metric writes to ``metrics`` until popped."""
+        stack = getattr(self._metrics_local, "stack", None)
+        if stack is None:
+            stack = self._metrics_local.stack = []
+        stack.append(metrics)
+
+    def pop_metrics(self) -> BatchMetrics:
+        return self._metrics_local.stack.pop()
 
     # -- per-batch lifecycle -------------------------------------------------------
 

@@ -38,6 +38,7 @@ from repro.core.operators import (
     UncertainFilterOp,
     UncertainJoinOp,
     UnionOp,
+    iter_ops,
 )
 from repro.core.smallplan import (
     SmallAggregate,
@@ -51,6 +52,7 @@ from repro.core.smallplan import (
     SmallSelect,
     SmallStaticLeaf,
     URow,
+    iter_small_nodes,
 )
 from repro.core.uncertainty import NodeTags, analyze
 from repro.errors import UnsupportedQueryError
@@ -74,10 +76,27 @@ from repro.relational.schema import Schema
 
 
 class ExecutionUnit:
-    """One step of a batch iteration."""
+    """One step of a batch iteration.
+
+    Units declare the lineage-block ids they publish (``produces``) and
+    read (``consumes``); the executor schedules units whose dependencies
+    within a batch are satisfied — concurrently, if asked to.
+    """
+
+    label: str = "unit"
+    #: Block ids this unit publishes into ``ctx.blocks`` each batch.
+    produces: frozenset[int] = frozenset()
+    #: Block ids this unit reads from ``ctx.blocks`` each batch.
+    consumes: frozenset[int] = frozenset()
+
+    def open(self, ctx: RuntimeContext) -> None:
+        pass
 
     def run(self, ctx: RuntimeContext) -> None:
         raise NotImplementedError
+
+    def close(self) -> None:
+        pass
 
     def reset(self) -> None:
         pass
@@ -88,10 +107,26 @@ class StreamPipelineUnit(ExecutionUnit):
 
     def __init__(self, root_op: SpineOp):
         self.root_op = root_op
+        self.label = f"pipeline:{root_op.label}"
+        produces = set()
+        consumes = set()
+        for op in iter_ops(root_op):
+            if isinstance(op, AggregateOp):
+                produces.add(op.block_id)
+            elif isinstance(op, UncertainJoinOp):
+                consumes.add(op.side_id)
+        self.produces = frozenset(produces)
+        self.consumes = frozenset(consumes)
+
+    def open(self, ctx: RuntimeContext) -> None:
+        self.root_op.open(ctx)
 
     def run(self, ctx: RuntimeContext) -> None:
-        self.root_op.process(ctx)
+        self.root_op.run(ctx)
         self.root_op.record_state(ctx)
+
+    def close(self) -> None:
+        self.root_op.close()
 
     def reset(self) -> None:
         self.root_op.reset()
@@ -102,6 +137,20 @@ class SmallSegmentUnit(ExecutionUnit):
 
     def __init__(self, unit: SmallPlanUnit):
         self.unit = unit
+        produces = set()
+        consumes = set()
+        for node in iter_small_nodes(unit.root):
+            if isinstance(node, SmallBlockLeaf):
+                consumes.add(node.block_id)
+            elif isinstance(node, SmallAggregate):
+                produces.add(node.block_id)
+        if unit.publish_id is not None:
+            produces.add(unit.publish_id)
+            self.label = f"small:{unit.publish_id}"
+        else:
+            self.label = "small:result"
+        self.produces = frozenset(produces)
+        self.consumes = frozenset(consumes)
 
     def run(self, ctx: RuntimeContext) -> None:
         self.unit.run(ctx)
@@ -117,6 +166,15 @@ class CompiledQuery:
     result_sink: RowSinkOp | None
     result_schema: Schema
     streamed_table: str
+
+    def open(self, ctx: RuntimeContext) -> None:
+        """Run the operator ``open`` lifecycle (state registration)."""
+        for unit in self.units:
+            unit.open(ctx)
+
+    def close(self) -> None:
+        for unit in self.units:
+            unit.close()
 
     def current_rows(self, ctx: RuntimeContext) -> list[URow]:
         if self.result_small is not None:

@@ -1,9 +1,9 @@
 """The query controller (Section 7, module 3) — iOLAP's public entry point.
 
 Partitions the streamed input into mini-batches, schedules the compiled
-delta query on each batch, collects partial results with error estimates,
-monitors variation-range integrity, and runs the failure-recovery replay
-when a check fails.
+delta query on each batch (through a pluggable batch executor), collects
+partial results with error estimates, monitors variation-range integrity,
+and runs the failure-recovery replay when a check fails.
 
 Typical use::
 
@@ -29,6 +29,7 @@ from repro.core.blocks import OnlineConfig, RuntimeContext
 from repro.core.compiler import CompiledQuery, compile_online
 from repro.core.result import PartialResult
 from repro.core.values import UncertainValue
+from repro.engine.executor import BatchExecutor, make_executor
 from repro.errors import RangeIntegrityError, ReproError
 from repro.metrics.stats import BatchMetrics, RunMetrics
 from repro.relational.algebra import PlanNode
@@ -48,11 +49,13 @@ class OnlineQueryEngine:
         streamed_table: str,
         config: OnlineConfig | None = None,
         partition_mode: str = "shuffle",
+        executor: str | BatchExecutor = "serial",
     ):
         self.catalog = catalog
         self.streamed_table = streamed_table
         self.config = config if config is not None else OnlineConfig()
         self.partitioner = Partitioner(mode=partition_mode, seed=self.config.seed)
+        self.executor = make_executor(executor)
         #: Metrics of the most recent (or in-progress) run.
         self.metrics = RunMetrics()
 
@@ -76,19 +79,30 @@ class OnlineQueryEngine:
         )
         self.metrics = RunMetrics()
 
-        for i, delta in enumerate(batches, start=1):
-            bm = self.metrics.start_batch(i)
-            started = time.perf_counter()
-            self._process_batch(compiled, ctx, batches, i, delta, bm)
-            bm.wall_seconds = time.perf_counter() - started
-            yield self._make_result(compiled, ctx, i, len(batches), bm)
+        compiled.open(ctx)
+        # Pristine-state snapshot: failure recovery rewinds every operator
+        # store to this point before replaying.
+        baseline = ctx.stores.checkpoint()
+
+        try:
+            for i, delta in enumerate(batches, start=1):
+                bm = self.metrics.start_batch(i)
+                started = time.perf_counter()
+                self._process_batch(compiled, ctx, batches, i, delta, bm, baseline)
+                bm.wall_seconds = time.perf_counter() - started
+                yield self._make_result(compiled, ctx, i, len(batches), bm)
+        finally:
+            compiled.close()
 
     def run_to_completion(
-        self, plan: PlanNode, num_batches: int
+        self,
+        plan: PlanNode,
+        num_batches: int,
+        batch_rows: int | None = None,
     ) -> PartialResult:
         """Convenience: run all batches, return the final (exact) result."""
         last: PartialResult | None = None
-        for last in self.run(plan, num_batches):
+        for last in self.run(plan, num_batches, batch_rows=batch_rows):
             pass
         if last is None:
             raise ReproError("streamed table is empty")
@@ -104,21 +118,36 @@ class OnlineQueryEngine:
         batch_no: int,
         delta: Relation,
         bm: BatchMetrics,
+        baseline: dict[str, object],
     ) -> None:
-        for attempt in range(_MAX_RECOVERIES + 1):
+        attempts = 0
+        while True:
             try:
                 ctx.begin_batch(batch_no, delta, bm)
-                for unit in compiled.units:
-                    unit.run(ctx)
+                self.executor.execute(compiled.units, ctx)
                 return
             except RangeIntegrityError as failure:
                 bm.recovered = True
-                if attempt == _MAX_RECOVERIES:
-                    # Last resort: conservative mode (no pruning) is always
-                    # correct; replay once more without ranges.
+                attempts += 1
+                if attempts > _MAX_RECOVERIES:
+                    if not ctx.monitor.enabled:
+                        # A conservative replay cannot record sentinels, so
+                        # a second failure here is a logic error, not a
+                        # pruning mistake — don't loop forever on it.
+                        raise
+                    # Safety valve: conservative mode (no pruning) is always
+                    # correct; disable ranges for the rest of the run, then
+                    # replay and re-run this batch one more time.
                     ctx.monitor.enabled = False
+                    self.metrics.pruning_disabled = True
                 self._replay(
-                    compiled, ctx, batches, batch_no, failure.recover_from_batch, bm
+                    compiled,
+                    ctx,
+                    batches,
+                    batch_no,
+                    failure.recover_from_batch,
+                    bm,
+                    baseline,
                 )
 
     def _replay(
@@ -129,9 +158,11 @@ class OnlineQueryEngine:
         failed_batch: int,
         recover_from: int,
         bm: BatchMetrics,
+        baseline: dict[str, object],
     ) -> None:
-        """Failure recovery (Section 5.1): rebuild all operator state by
-        replaying the processed batches conservatively.
+        """Failure recovery (Section 5.1): restore all operator state to
+        the pristine checkpoint, then rebuild it by replaying the
+        processed batches conservatively.
 
         During the replay the monitor publishes unbounded ranges, so no
         pruning happens and no sentinels are created — the rebuilt state
@@ -143,15 +174,14 @@ class OnlineQueryEngine:
         started = time.perf_counter()
         ctx.monitor.replaying = True
         ctx.monitor.reset()
-        compiled.reset()
+        ctx.stores.restore(baseline)
         ctx.reset_for_replay()
         scratch = BatchMetrics(0)
         saved = ctx.metrics
         try:
             for b in range(1, failed_batch):
                 ctx.begin_batch(b, batches[b - 1], scratch)
-                for unit in compiled.units:
-                    unit.run(ctx)
+                self.executor.execute(compiled.units, ctx)
         finally:
             ctx.metrics = saved
             ctx.monitor.replaying = False

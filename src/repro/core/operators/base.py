@@ -1,0 +1,207 @@
+"""Operator base class, dataflow message, and the pipeline driver.
+
+Online operators follow a formal lifecycle, driven from the outside:
+
+* ``open(ctx)`` — once per run, before the first batch: registers the
+  operator's :class:`~repro.state.StateStore` with the engine's state
+  registry (for accounting and checkpoint/restore);
+* ``process(delta, ctx)`` — once per batch: consumes the child outputs
+  (``delta`` is ``None`` for leaves, a :class:`DeltaBatch` for unary
+  operators, and a list of them for n-ary operators) and returns this
+  operator's :class:`DeltaBatch`;
+* ``state_items()`` — introspection over the named state entries;
+* ``close()`` — once per run, after the last batch.
+
+Operators never call into their children: :func:`drive_pipeline` walks
+the operator tree bottom-up, feeding each operator its inputs and
+recording per-operator wall time into ``BatchMetrics.op_seconds``. This
+keeps operator logic, state management, and scheduling in separate
+layers (the executor picks which pipelines run concurrently; the driver
+sequences operators within one pipeline).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.blocks import RuntimeContext
+from repro.core.classify import ClassifyResult
+from repro.relational.expressions import Expression
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.state import InMemoryStateStore
+
+
+@dataclass
+class DeltaBatch:
+    """Per-batch dataflow message between online operators.
+
+    * ``certain`` — rows emitted *permanently* this batch. Their
+      multiplicity can only be confirmed, never revoked (modulo failure
+      recovery), so downstream aggregates fold them into sketches and
+      forget them.
+    * ``volatile`` — the full current contribution of non-deterministic
+      rows, recomputed every batch. Downstream operators recompute
+      whatever depends on them, which is exactly the recomputation
+      iOLAP's optimizations keep small.
+    """
+
+    certain: Relation
+    volatile: Relation
+
+    @property
+    def total_rows(self) -> int:
+        return len(self.certain) + len(self.volatile)
+
+
+def empty_relation(schema: Schema, uncertain_cols: set[str], num_trials: int) -> Relation:
+    """Empty relation whose uncertain columns use object dtype (refs)."""
+    cols = {}
+    for c in schema:
+        dtype = np.dtype(object) if c.name in uncertain_cols else c.ctype.dtype
+        cols[c.name] = np.empty(0, dtype=dtype)
+    return Relation(
+        schema, cols, np.empty(0), np.empty((0, num_trials), dtype=np.float64)
+    )
+
+
+class SpineOp:
+    """Base class of online operators in a stream pipeline."""
+
+    def __init__(
+        self,
+        label: str,
+        schema: Schema,
+        uncertain_cols: set[str],
+        children: tuple["SpineOp", ...] = (),
+    ):
+        self.label = label
+        self.schema = schema
+        self.uncertain_cols = set(uncertain_cols)
+        self.children: tuple[SpineOp, ...] = tuple(children)
+        #: Named between-batch state. Standalone operators (unit tests)
+        #: own a private store; ``open`` registers it with the engine.
+        self.state = InMemoryStateStore()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def open(self, ctx: RuntimeContext) -> None:
+        """Register state with the engine before the first batch."""
+        for child in self.children:
+            child.open(ctx)
+        ctx.stores.adopt(self.label, self.state)
+
+    def process(self, delta: object, ctx: RuntimeContext) -> DeltaBatch:
+        """Consume the child outputs for one batch.
+
+        ``delta`` is ``None`` for leaf operators, a :class:`DeltaBatch`
+        for unary operators, and a ``list[DeltaBatch]`` (child order)
+        for n-ary operators.
+        """
+        raise NotImplementedError
+
+    def state_items(self) -> list[tuple[str, object]]:
+        """Current named state entries of this operator (not children)."""
+        return list(self.state.items())
+
+    def close(self) -> None:
+        """Release per-run resources after the last batch."""
+        for child in self.children:
+            child.close()
+
+    # -- state / metrics ---------------------------------------------------------
+
+    def _init_state(self) -> None:
+        """Seed the store's entries; called at construction and reset."""
+
+    def reset(self) -> None:
+        """Drop all inter-batch state (used by failure recovery)."""
+        self.state.clear()
+        self._init_state()
+        for child in self.children:
+            child.reset()
+
+    def record_state(self, ctx: RuntimeContext) -> None:
+        """Report the subtree's state footprint into the batch metrics."""
+        nbytes = self.state.estimated_bytes()
+        if nbytes:
+            ctx.metrics.add_state(self.label, nbytes)
+        for child in self.children:
+            child.record_state(ctx)
+
+    # -- conveniences ------------------------------------------------------------
+
+    def run(self, ctx: RuntimeContext) -> DeltaBatch:
+        """Drive the subtree rooted here for one batch (post-order)."""
+        return drive_pipeline(self, ctx)
+
+    def empty(self, ctx: RuntimeContext) -> Relation:
+        return empty_relation(self.schema, self.uncertain_cols, ctx.num_trials)
+
+
+def drive_pipeline(root: SpineOp, ctx: RuntimeContext) -> DeltaBatch:
+    """Evaluate an operator tree bottom-up for one batch.
+
+    Each operator's ``process`` is timed individually (children are
+    evaluated outside the parent's clock), so ``op_seconds`` reports
+    true self time per operator.
+    """
+    inputs = [drive_pipeline(child, ctx) for child in root.children]
+    if not inputs:
+        delta: object = None
+    elif len(inputs) == 1:
+        delta = inputs[0]
+    else:
+        delta = inputs
+    started = time.perf_counter()
+    out = root.process(delta, ctx)
+    ctx.metrics.add_op_seconds(root.label, time.perf_counter() - started)
+    return out
+
+
+def iter_ops(root: SpineOp) -> Iterator[SpineOp]:
+    """All operators of a pipeline, root first."""
+    yield root
+    for child in root.children:
+        yield from iter_ops(child)
+
+
+# -- helpers shared across operator modules ---------------------------------------
+
+
+def filter_det(rel: Relation, predicate: Expression) -> Relation:
+    """Apply a fully deterministic predicate."""
+    if len(rel) == 0:
+        return rel
+    mask = np.asarray(predicate.evaluate(rel), dtype=bool)
+    return rel.filter(mask)
+
+
+def subset_masks(
+    res: ClassifyResult, keep: np.ndarray, ctx: RuntimeContext
+) -> tuple[np.ndarray, np.ndarray]:
+    return res.point[keep], res.trial_matrix(ctx.num_trials)[keep]
+
+
+def mask_contribution(
+    rel: Relation, masks: tuple[np.ndarray, np.ndarray]
+) -> Relation:
+    """Volatile contribution of ND rows: zero out failed decisions."""
+    point, trials = masks
+    mult = rel.mult * point
+    trial_mults = (
+        rel.trial_mults * trials
+        if rel.trial_mults is not None
+        else rel.mult[:, None] * trials
+    )
+    keep = point | trials.any(axis=1)
+    return Relation(
+        rel.schema,
+        {n: a[keep] for n, a in rel.columns.items()},
+        mult[keep],
+        trial_mults[keep],
+    )

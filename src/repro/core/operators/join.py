@@ -1,0 +1,284 @@
+"""JOIN operators: static dimension sides and uncertain small sides."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocks import BlockOutput, GroupKey, GroupValue, RuntimeContext
+from repro.core.classify import FALSE, PENDING, TRUE, UNKNOWN
+from repro.core.operators.base import (
+    DeltaBatch,
+    SpineOp,
+    empty_relation,
+    mask_contribution,
+)
+from repro.core.sentinels import MembershipSentinels
+from repro.core.values import LineageRef
+from repro.relational.evaluator import join_relations
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class StaticJoinOp(SpineOp):
+    """JOIN of the stream with a static (dimension) side.
+
+    The paper's JOIN state rule: when only the fact table is streamed, the
+    operator state is just the dimension side, kept in memory from batch 1
+    (and reported as join state for the Figure 9(b) accounting).
+    """
+
+    def __init__(
+        self,
+        child: SpineOp,
+        side: Relation,
+        keys: list[tuple[str, str]],
+        schema: Schema,
+        stream_is_left: bool,
+        node_id: int,
+    ):
+        super().__init__(f"join:{node_id}", schema, child.uncertain_cols, (child,))
+        self.child = child
+        self.side = side
+        self.keys = keys
+        self.stream_is_left = stream_is_left
+        self._init_state()
+
+    def _init_state(self) -> None:
+        # The broadcast side is immutable configuration, but it *is* the
+        # operator's state footprint, so it lives in the store (as a
+        # static entry: accounted, checkpointed by reference).
+        self.state.put("side", self.side, static=True)
+        self.state.put("announced", False)
+
+    def process(self, delta: DeltaBatch, ctx: RuntimeContext) -> DeltaBatch:
+        if not self.state.get("announced"):
+            # Broadcasting the dimension table is a one-time shipping cost.
+            ctx.metrics.shipped_bytes += self.side.estimated_bytes()
+            self.state.put("announced", True)
+        return DeltaBatch(self._join(delta.certain), self._join(delta.volatile))
+
+    def _join(self, rel: Relation) -> Relation:
+        if self.stream_is_left:
+            return join_relations(rel, self.side, self.keys)
+        flipped = [(rk, lk) for lk, rk in self.keys]
+        joined = join_relations(self.side, rel, flipped)
+        return _reorder_columns(joined, self.schema)
+
+
+def _reorder_columns(rel: Relation, schema: Schema) -> Relation:
+    """Project columns into the compiler's expected order, tolerating the
+    key-drop asymmetry of flipped joins."""
+    cols = {name: rel.columns[name] for name in schema.names}
+    return Relation(schema, cols, rel.mult, rel.trial_mults)
+
+
+class UncertainJoinOp(SpineOp):
+    """JOIN of the stream with an uncertain small side (a lineage-block
+    boundary, Section 6).
+
+    Each stream row looks up its group in the side view and attaches the
+    side's columns — uncertain ones as :class:`LineageRef` so their values
+    stay lazily up to date, deterministic ones by value. Rows whose group
+    membership is unresolved form this operator's non-deterministic store;
+    rows whose group has not been published at all wait in the pending
+    store (re-tried every batch).
+    """
+
+    def __init__(
+        self,
+        child: SpineOp,
+        side_id: int,
+        stream_keys: list[str],
+        attach_cols: list[tuple[str, bool]],
+        schema: Schema,
+        node_id: int,
+    ):
+        uncertain = child.uncertain_cols | {
+            name for name, is_uncertain in attach_cols if is_uncertain
+        }
+        super().__init__(f"join:{node_id}", schema, uncertain, (child,))
+        self.child = child
+        self.side_id = side_id
+        self.stream_keys = stream_keys
+        self.attach_cols = attach_cols
+        self._init_state()
+
+    def _init_state(self) -> None:
+        self.state.put("nd", None)
+        self.state.put("pending", None)
+        self.state.put("member_sentinels", MembershipSentinels())
+
+    @property
+    def nd_store(self) -> Relation | None:
+        return self.state.get("nd")
+
+    @nd_store.setter
+    def nd_store(self, value: Relation | None) -> None:
+        self.state.put("nd", value)
+
+    @property
+    def pending(self) -> Relation | None:
+        return self.state.get("pending")
+
+    @pending.setter
+    def pending(self, value: Relation | None) -> None:
+        self.state.put("pending", value)
+
+    @property
+    def member_sentinels(self) -> MembershipSentinels:
+        return self.state.get("member_sentinels")
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _keys_of(self, rel: Relation) -> list[GroupKey]:
+        if not self.stream_keys:
+            return [() for _ in range(len(rel))]
+        return rel.key_tuples(self.stream_keys)
+
+    def _attach(self, rel: Relation, groups: list[GroupValue]) -> Relation:
+        """Append side columns for rows whose group is known."""
+        n = len(rel)
+        cols = dict(rel.columns)
+        for name, is_uncertain in self.attach_cols:
+            if is_uncertain:
+                arr = np.empty(n, dtype=object)
+                for i, g in enumerate(groups):
+                    arr[i] = LineageRef(self.side_id, g.key, name)
+            else:
+                arr = np.empty(n, dtype=self.schema.type_of(name).dtype)
+                for i, g in enumerate(groups):
+                    arr[i] = g.values[name]
+            cols[name] = arr
+        return Relation(self.schema, cols, rel.mult, rel.trial_mults)
+
+    def _partition_new(
+        self,
+        rel: Relation,
+        view: BlockOutput | None,
+        ctx: RuntimeContext,
+        record: bool = False,
+    ) -> tuple[Relation, Relation, Relation]:
+        """Split incoming certain rows into (certain-out, nd, pending).
+
+        With ``record=True`` (permanent actions: the certain input path),
+        every stable membership decision leaves a sentinel so later flips
+        trigger recovery."""
+        n = len(rel)
+        if n == 0:
+            return self._empty_out(ctx), self._empty_out(ctx), rel
+        keys = self._keys_of(rel)
+        status = np.empty(n, dtype=np.int8)
+        groups: list[GroupValue | None] = [None] * n
+        for i, key in enumerate(keys):
+            group = view.get(key) if view is not None else None
+            groups[i] = group
+            if group is None:
+                status[i] = PENDING
+            elif group.certainly_in:
+                status[i] = TRUE
+                if record:
+                    self.member_sentinels.record(key, True)
+            elif group.certainly_out:
+                status[i] = FALSE
+                if record:
+                    self.member_sentinels.record(key, False)
+            else:
+                status[i] = UNKNOWN
+        sure = status == TRUE
+        unknown = status == UNKNOWN
+        waiting = status == PENDING
+        certain_out = self._attach(
+            rel.filter(sure), [g for g, s in zip(groups, sure) if s]
+        )
+        nd = self._attach(
+            rel.filter(unknown), [g for g, s in zip(groups, unknown) if s]
+        )
+        return certain_out, nd, rel.filter(waiting)
+
+    def _volatile_of(self, rel: Relation, ctx: RuntimeContext) -> Relation:
+        """Current contribution of attached-but-unresolved rows."""
+        view = ctx.blocks.get(self.side_id)
+        n = len(rel)
+        if n == 0 or view is None:
+            return self._empty_out(ctx)
+        keys = self._keys_of(rel)
+        point = np.zeros(n, dtype=bool)
+        trials = np.zeros((n, ctx.num_trials), dtype=bool)
+        for i, key in enumerate(keys):
+            group = view.get(key)
+            if group is None:
+                continue
+            point[i] = group.member_point
+            trials[i] = group.exist_in_trial(ctx.num_trials)
+        return mask_contribution(rel, (point, trials))
+
+    def _empty_out(self, ctx: RuntimeContext) -> Relation:
+        return empty_relation(self.schema, self.uncertain_cols, ctx.num_trials)
+
+    # -- processing -----------------------------------------------------------------
+
+    def process(self, delta: DeltaBatch, ctx: RuntimeContext) -> DeltaBatch:
+        view = ctx.blocks.get(self.side_id)
+        # Integrity: previously resolved memberships must not have flipped.
+        self.member_sentinels.check(ctx, view)
+
+        certain_new, nd_new, pending_new = self._partition_new(
+            delta.certain, view, ctx, record=True
+        )
+
+        # Retry rows that were waiting for their group to be published.
+        if self.pending is not None and len(self.pending):
+            ctx.metrics.recomputed_tuples += len(self.pending)
+            certain_retry, nd_retry, still_pending = self._partition_new(
+                self.pending, view, ctx, record=True
+            )
+            certain_new = certain_new.concat(certain_retry)
+            nd_new = nd_new.concat(nd_retry)
+            self.pending = still_pending.concat(pending_new)
+        else:
+            self.pending = pending_new
+
+        # Re-examine the non-deterministic store against fresh membership.
+        nd_old = self.nd_store if self.nd_store is not None else self._empty_out(ctx)
+        ctx.metrics.recomputed_tuples += len(nd_old)
+        if not ctx.config.lazy_lineage and len(nd_old) and view is not None:
+            # OPT2 off: regenerate cached tuples instead of updating them
+            # in place — re-do the join lookup and rebuild every attached
+            # column for the whole store (the paper's "re-generating the
+            # tuple from scratch" cost that lineage + lazy evaluation
+            # avoids).
+            groups = [view.get(key) for key in self._keys_of(nd_old)]
+            keep = np.array(
+                [g is not None for g in groups], dtype=bool
+            )
+            nd_old = self._attach(
+                nd_old.filter(keep), [g for g in groups if g is not None]
+            )
+        if len(nd_old) and view is not None:
+            keys = self._keys_of(nd_old)
+            status = np.empty(len(nd_old), dtype=np.int8)
+            for i, key in enumerate(keys):
+                group = view.get(key)
+                if group is None:
+                    status[i] = UNKNOWN
+                elif group.certainly_in:
+                    status[i] = TRUE
+                    self.member_sentinels.record(key, True)
+                elif group.certainly_out:
+                    status[i] = FALSE
+                    self.member_sentinels.record(key, False)
+                else:
+                    status[i] = UNKNOWN
+            certain_new = certain_new.concat(nd_old.filter(status == TRUE))
+            nd_old = nd_old.filter(status == UNKNOWN)
+        self.nd_store = nd_old.concat(nd_new)
+
+        volatile = self._volatile_of(self.nd_store, ctx)
+        if len(delta.volatile):
+            vol_view = ctx.blocks.get(self.side_id)
+            v_certain, v_nd, _ = self._partition_new(delta.volatile, vol_view, ctx)
+            # Upstream volatile rows are never stored here; they contribute
+            # whatever their current membership allows.
+            volatile = volatile.concat(v_certain)
+            volatile = volatile.concat(self._volatile_of(v_nd, ctx))
+        return DeltaBatch(certain_new, volatile)

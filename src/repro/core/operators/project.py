@@ -1,0 +1,62 @@
+"""PROJECT and RENAME over a stream (stateless, pure delta rules)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocks import RuntimeContext
+from repro.core.operators.base import DeltaBatch, SpineOp
+from repro.errors import UnsupportedQueryError
+from repro.relational.algebra import Project
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class ProjectOp(SpineOp):
+    """PROJECT over a stream. Uncertain columns may only pass through
+    unchanged (computation over uncertain attributes is deferred to the
+    use sites — the lazy-evaluation principle)."""
+
+    def __init__(self, child: SpineOp, node: Project, schema: Schema):
+        uncertain_out = set()
+        from repro.relational.expressions import Col
+
+        for name, expr in node.outputs:
+            touched = expr.attrs() & child.uncertain_cols
+            if touched:
+                if not isinstance(expr, Col):
+                    raise UnsupportedQueryError(
+                        f"projection {name!r} computes over uncertain columns "
+                        f"{sorted(touched)}; move the computation into the "
+                        "consuming predicate or aggregate (lazy evaluation)"
+                    )
+                uncertain_out.add(name)
+        super().__init__(f"project:{node.node_id}", schema, uncertain_out, (child,))
+        self.child = child
+        self.node = node
+
+    def process(self, delta: DeltaBatch, ctx: RuntimeContext) -> DeltaBatch:
+        return DeltaBatch(self._project(delta.certain), self._project(delta.volatile))
+
+    def _project(self, rel: Relation) -> Relation:
+        cols: dict[str, np.ndarray] = {}
+        for (name, expr), column in zip(self.node.outputs, self.schema):
+            values = expr.evaluate(rel)
+            if name in self.uncertain_cols:
+                cols[name] = np.asarray(values, dtype=object)
+            else:
+                cols[name] = np.asarray(values, dtype=column.ctype.dtype)
+        return Relation(self.schema, cols, rel.mult, rel.trial_mults)
+
+
+class RenameOp(SpineOp):
+    def __init__(self, child: SpineOp, mapping: dict[str, str], schema: Schema):
+        renamed = {mapping.get(c, c) for c in child.uncertain_cols}
+        super().__init__("rename", schema, renamed, (child,))
+        self.child = child
+        self.mapping = mapping
+
+    def process(self, delta: DeltaBatch, ctx: RuntimeContext) -> DeltaBatch:
+        return DeltaBatch(
+            delta.certain.rename(self.mapping), delta.volatile.rename(self.mapping)
+        )

@@ -1,0 +1,51 @@
+"""Virtual SINK for aggregate-free pipelines (plain SPJ queries)."""
+
+from __future__ import annotations
+
+from repro.core.blocks import RuntimeContext
+from repro.core.operators.base import DeltaBatch, SpineOp
+from repro.relational.relation import Relation
+
+
+class RowSinkOp(SpineOp):
+    """Accumulates permanently emitted rows; the current result is the
+    accumulation plus this batch's volatile contribution."""
+
+    def __init__(self, child: SpineOp):
+        super().__init__("sink", child.schema, child.uncertain_cols, (child,))
+        self.child = child
+        self._init_state()
+
+    def _init_state(self) -> None:
+        self.state.put("accumulated", None)
+        self.state.put("volatile", None)
+
+    @property
+    def accumulated(self) -> Relation | None:
+        return self.state.get("accumulated")
+
+    @accumulated.setter
+    def accumulated(self, value: Relation | None) -> None:
+        self.state.put("accumulated", value)
+
+    @property
+    def current_volatile(self) -> Relation | None:
+        return self.state.get("volatile")
+
+    @current_volatile.setter
+    def current_volatile(self, value: Relation | None) -> None:
+        self.state.put("volatile", value)
+
+    def process(self, delta: DeltaBatch, ctx: RuntimeContext) -> DeltaBatch:
+        if self.accumulated is None:
+            self.accumulated = delta.certain
+        else:
+            self.accumulated = self.accumulated.concat(delta.certain)
+        self.current_volatile = delta.volatile
+        return DeltaBatch(delta.certain, delta.volatile)
+
+    def result(self, ctx: RuntimeContext) -> Relation:
+        acc = self.accumulated if self.accumulated is not None else self.empty(ctx)
+        if self.current_volatile is None or len(self.current_volatile) == 0:
+            return acc
+        return acc.concat(self.current_volatile)

@@ -1,0 +1,22 @@
+"""UNION of two streams (stateless concat of both delta channels)."""
+
+from __future__ import annotations
+
+from repro.core.blocks import RuntimeContext
+from repro.core.operators.base import DeltaBatch, SpineOp
+
+
+class UnionOp(SpineOp):
+    def __init__(self, left: SpineOp, right: SpineOp):
+        super().__init__(
+            "union",
+            left.schema,
+            left.uncertain_cols | right.uncertain_cols,
+            (left, right),
+        )
+        self.left = left
+        self.right = right
+
+    def process(self, delta: list[DeltaBatch], ctx: RuntimeContext) -> DeltaBatch:
+        a, b = delta
+        return DeltaBatch(a.certain.concat(b.certain), a.volatile.concat(b.volatile))

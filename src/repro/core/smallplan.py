@@ -62,6 +62,23 @@ class SmallNode:
         raise NotImplementedError
 
 
+def iter_small_nodes(root: SmallNode):
+    """All nodes of a small segment, root first."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        child = getattr(node, "child", None)
+        if child is not None:
+            stack.append(child)
+        left = getattr(node, "left", None)
+        if left is not None:
+            stack.append(left)
+        right = getattr(node, "right", None)
+        if right is not None:
+            stack.append(right)
+
+
 class SmallBlockLeaf(SmallNode):
     """Reads the current output of a lineage block."""
 

@@ -1,0 +1,15 @@
+"""The execution layer: batch executors scheduling compiled units."""
+
+from repro.engine.executor import (
+    BatchExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+
+__all__ = [
+    "BatchExecutor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "make_executor",
+]

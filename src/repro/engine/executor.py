@@ -1,0 +1,173 @@
+"""Batch executors: schedule a compiled query's units within one batch.
+
+The compiler emits execution units in block-topological order, each
+declaring the lineage-block ids it ``produces`` and ``consumes``. The
+serial executor simply runs them in that order; the parallel executor
+turns the declarations into a dependency DAG and runs independent units
+concurrently in deterministic *waves* (a unit joins a wave once every
+block it consumes has been published by a completed wave).
+
+Determinism: worker threads record their counters into per-unit scratch
+:class:`~repro.metrics.stats.BatchMetrics` (installed thread-locally via
+``ctx.push_metrics``) which are merged in unit-index order after the
+wave, so parallel totals equal serial totals bit for bit. Cross-unit
+dataflow goes exclusively through ``ctx.blocks`` entries keyed by the
+declared block ids, and distinct units never write the same id, so no
+locking is needed beyond the merge barrier.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro.core.blocks import RuntimeContext
+from repro.core.compiler import ExecutionUnit
+from repro.metrics.stats import BatchMetrics
+
+
+class BatchExecutor:
+    """Runs all units of a compiled query for one batch."""
+
+    name = "base"
+
+    def execute(self, units: Sequence[ExecutionUnit], ctx: RuntimeContext) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release scheduler resources (thread pools)."""
+
+
+class SerialExecutor(BatchExecutor):
+    """Runs units one by one in compiler (block-topological) order."""
+
+    name = "serial"
+
+    def execute(self, units: Sequence[ExecutionUnit], ctx: RuntimeContext) -> None:
+        for unit in units:
+            started = time.perf_counter()
+            unit.run(ctx)
+            ctx.metrics.add_op_seconds(unit.label, time.perf_counter() - started)
+
+
+def dependency_waves(units: Sequence[ExecutionUnit]) -> list[list[int]]:
+    """Partition unit indices into waves of mutually independent units.
+
+    A unit is ready once every block id it consumes has been produced by
+    an earlier wave. Ids no unit in the list produces are treated as
+    already available (they come from outside this schedule). Falls back
+    to one-unit-per-wave serial order if the declarations ever fail to
+    make progress, so a bad declaration degrades to correct-but-serial.
+    """
+    producible = set()
+    for unit in units:
+        producible |= unit.produces
+    available: set[int] = set()
+    remaining = list(range(len(units)))
+    waves: list[list[int]] = []
+    while remaining:
+        wave = [
+            i
+            for i in remaining
+            if all(
+                dep in available or dep not in producible
+                for dep in units[i].consumes
+            )
+        ]
+        if not wave:
+            waves.extend([i] for i in remaining)
+            break
+        waves.append(wave)
+        for i in wave:
+            available |= units[i].produces
+        remaining = [i for i in remaining if i not in set(wave)]
+    return waves
+
+
+class ParallelExecutor(BatchExecutor):
+    """Runs independent units concurrently on a thread pool.
+
+    Produces per-batch results identical to :class:`SerialExecutor`: the
+    schedule respects the declared dependency DAG, and metrics are merged
+    deterministically (see module docstring).
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-exec"
+            )
+        return self._pool
+
+    def execute(self, units: Sequence[ExecutionUnit], ctx: RuntimeContext) -> None:
+        pool = self._ensure_pool()
+        scratches: list[tuple[int, BatchMetrics]] = []
+        failures: list[tuple[int, BaseException]] = []
+        for wave in dependency_waves(units):
+            if len(wave) == 1:
+                i = wave[0]
+                scratch = BatchMetrics(ctx.batch_no)
+                scratches.append((i, scratch))
+                err = _run_unit(units[i], ctx, scratch)
+                if err is not None:
+                    failures.append((i, err))
+            else:
+                futures = []
+                for i in wave:
+                    scratch = BatchMetrics(ctx.batch_no)
+                    scratches.append((i, scratch))
+                    futures.append(
+                        (i, pool.submit(_run_unit, units[i], ctx, scratch))
+                    )
+                for i, future in futures:
+                    err = future.result()
+                    if err is not None:
+                        failures.append((i, err))
+            if failures:
+                break
+        for _, scratch in sorted(scratches, key=lambda pair: pair[0]):
+            ctx.metrics.merge_from(scratch)
+        if failures:
+            # Deterministic failure choice: the lowest unit index, i.e.
+            # the one the serial executor would have hit first.
+            raise min(failures, key=lambda pair: pair[0])[1]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _run_unit(
+    unit: ExecutionUnit, ctx: RuntimeContext, scratch: BatchMetrics
+) -> BaseException | None:
+    """Run one unit with thread-local scratch metrics; report, don't raise
+    (the scheduler decides deterministically which failure wins)."""
+    ctx.push_metrics(scratch)
+    started = time.perf_counter()
+    try:
+        unit.run(ctx)
+        return None
+    except BaseException as err:  # noqa: BLE001 — forwarded to the scheduler
+        return err
+    finally:
+        scratch.add_op_seconds(unit.label, time.perf_counter() - started)
+        ctx.pop_metrics()
+
+
+def make_executor(spec: str | BatchExecutor, max_workers: int | None = None) -> BatchExecutor:
+    """Resolve an executor name (``"serial"``/``"parallel"``) or instance."""
+    if isinstance(spec, BatchExecutor):
+        return spec
+    if spec == "serial":
+        return SerialExecutor()
+    if spec == "parallel":
+        return ParallelExecutor(max_workers=max_workers)
+    raise ValueError(f"unknown executor {spec!r} (expected 'serial' or 'parallel')")

@@ -9,6 +9,7 @@ mini-batch; :class:`RunMetrics` aggregates a full online execution.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 
@@ -28,6 +29,8 @@ class BatchMetrics:
     shipped_bytes: int = 0
     #: Current state footprint per operator label (Fig. 9(b)).
     state_bytes: dict[str, int] = field(default_factory=dict)
+    #: Wall seconds per operator / execution-unit label this batch.
+    op_seconds: dict[str, float] = field(default_factory=dict)
     #: Whether a variation-range integrity failure triggered recovery.
     recovered: bool = False
     #: Seconds spent inside the recovery replay (included in wall_seconds).
@@ -36,6 +39,28 @@ class BatchMetrics:
     def add_state(self, label: str, nbytes: int) -> None:
         self.state_bytes[label] = self.state_bytes.get(label, 0) + nbytes
 
+    def add_op_seconds(self, label: str, seconds: float) -> None:
+        self.op_seconds[label] = self.op_seconds.get(label, 0.0) + seconds
+
+    def merge_from(self, other: "BatchMetrics") -> None:
+        """Fold another batch's counters into this one.
+
+        The parallel executor gives each execution unit a scratch
+        ``BatchMetrics`` and merges them in unit order once the batch
+        completes, so concurrent units never contend on shared counters
+        and the merged totals are deterministic.
+        """
+        self.wall_seconds += other.wall_seconds
+        self.new_tuples += other.new_tuples
+        self.recomputed_tuples += other.recomputed_tuples
+        self.shipped_bytes += other.shipped_bytes
+        for label, nbytes in other.state_bytes.items():
+            self.add_state(label, nbytes)
+        for label, seconds in other.op_seconds.items():
+            self.add_op_seconds(label, seconds)
+        self.recovered = self.recovered or other.recovered
+        self.recovery_seconds += other.recovery_seconds
+
     @property
     def total_state_bytes(self) -> int:
         return sum(self.state_bytes.values())
@@ -43,12 +68,30 @@ class BatchMetrics:
     def state_bytes_matching(self, prefix: str) -> int:
         return sum(v for k, v in self.state_bytes.items() if k.startswith(prefix))
 
+    def to_dict(self) -> dict:
+        return {
+            "batch_no": self.batch_no,
+            "wall_seconds": self.wall_seconds,
+            "new_tuples": self.new_tuples,
+            "recomputed_tuples": self.recomputed_tuples,
+            "shipped_bytes": self.shipped_bytes,
+            "state_bytes": dict(self.state_bytes),
+            "total_state_bytes": self.total_state_bytes,
+            "op_seconds": dict(self.op_seconds),
+            "recovered": self.recovered,
+            "recovery_seconds": self.recovery_seconds,
+        }
+
 
 @dataclass
 class RunMetrics:
     """All batch metrics of one online query execution."""
 
     batches: list[BatchMetrics] = field(default_factory=list)
+    #: True when the failure-recovery safety valve tripped: the run
+    #: exhausted its recovery budget and finished in conservative mode
+    #: (range monitor disabled, no pruning).
+    pruning_disabled: bool = False
 
     def start_batch(self, batch_no: int) -> BatchMetrics:
         bm = BatchMetrics(batch_no)
@@ -79,6 +122,30 @@ class RunMetrics:
         """
         upto = max(1, round(len(self.batches) * fraction))
         return sum(b.wall_seconds for b in self.batches[:upto])
+
+    def total_op_seconds(self) -> dict[str, float]:
+        """Per-label wall seconds summed over all batches."""
+        totals: dict[str, float] = {}
+        for bm in self.batches:
+            for label, seconds in bm.op_seconds.items():
+                totals[label] = totals.get(label, 0.0) + seconds
+        return totals
+
+    def to_dict(self) -> dict:
+        return {
+            "num_batches": len(self.batches),
+            "total_seconds": self.total_seconds,
+            "total_recomputed": self.total_recomputed,
+            "total_shipped_bytes": self.total_shipped_bytes,
+            "num_recoveries": self.num_recoveries,
+            "pruning_disabled": self.pruning_disabled,
+            "op_seconds": self.total_op_seconds(),
+            "batches": [bm.to_dict() for bm in self.batches],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON dump of all per-batch metrics (for benchmark trajectories)."""
+        return json.dumps(self.to_dict(), indent=indent)
 
     def max_state_bytes(self, prefix: str = "") -> int:
         return max(

@@ -1,0 +1,75 @@
+"""Engine-level registry of all operator state stores in one execution."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.state.store import InMemoryStateStore, StateStore
+
+
+class StateRegistry:
+    """Namespaced state stores for one online execution.
+
+    Operators *adopt* their store into the registry under their label
+    when the engine opens them, which gives the controller a single
+    handle for whole-engine concerns: total footprint accounting and the
+    checkpoint/restore pair that failure recovery is built on. Namespace
+    collisions (two scans of the same table, say) are disambiguated with
+    a ``#n`` suffix; re-adopting the same store is a no-op.
+    """
+
+    def __init__(self, factory: Callable[[], StateStore] = InMemoryStateStore):
+        self._factory = factory
+        self._stores: dict[str, StateStore] = {}
+
+    def store(self, namespace: str) -> StateStore:
+        """Get or create the store registered under ``namespace``."""
+        if namespace not in self._stores:
+            self._stores[namespace] = self._factory()
+        return self._stores[namespace]
+
+    def adopt(self, namespace: str, store: StateStore) -> str:
+        """Register an externally owned store; returns the actual name."""
+        for existing_name, existing in self._stores.items():
+            if existing is store:
+                return existing_name
+        name, n = namespace, 2
+        while name in self._stores:
+            name = f"{namespace}#{n}"
+            n += 1
+        self._stores[name] = store
+        return name
+
+    def get(self, namespace: str) -> StateStore | None:
+        return self._stores.get(namespace)
+
+    def namespaces(self) -> Iterator[str]:
+        return iter(list(self._stores))
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+    def bytes_by_namespace(self) -> dict[str, int]:
+        return {
+            name: store.estimated_bytes() for name, store in self._stores.items()
+        }
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_namespace().values())
+
+    def checkpoint(self) -> dict[str, object]:
+        """Snapshot every registered store (restorable repeatedly)."""
+        return {name: store.checkpoint() for name, store in self._stores.items()}
+
+    def restore(self, snapshot: dict[str, object]) -> None:
+        """Restore every store to ``snapshot``; stores registered after
+        the snapshot was taken are cleared."""
+        for name, store in self._stores.items():
+            if name in snapshot:
+                store.restore(snapshot[name])
+            else:
+                store.clear()
+
+    def clear(self) -> None:
+        for store in self._stores.values():
+            store.clear()

@@ -1,0 +1,145 @@
+"""The state-store contract and its in-memory implementation."""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterator
+
+import numpy as np
+
+
+def estimate_nbytes(value: object) -> int:
+    """Rough in-memory footprint of one state entry, in bytes.
+
+    Engine objects that know their own footprint (relations, sentinel
+    stores, aggregate sketches, block outputs) expose ``estimated_bytes``
+    and are deferred to; containers are measured recursively; everything
+    else gets a small flat estimate. The absolute numbers follow the
+    same conventions the operators used before the store layer existed,
+    so the Figure 9(b)/10(c) accounting is unchanged.
+    """
+    if value is None:
+        return 0
+    own = getattr(value, "estimated_bytes", None)
+    if callable(own):
+        return int(own())
+    if isinstance(value, np.ndarray):
+        if value.dtype == object:
+            return 64 * value.size
+        return int(value.nbytes)
+    if isinstance(value, bool):
+        return 8
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(value, str):
+        return 49 + len(value)
+    if isinstance(value, (set, frozenset)):
+        return 64 + 32 * len(value)
+    if isinstance(value, dict):
+        return 64 + sum(32 + estimate_nbytes(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return 56 + sum(8 + estimate_nbytes(v) for v in value)
+    return 64
+
+
+class StateStore:
+    """Contract for one operator's named between-batch state entries.
+
+    Entries are keyed by short names (``"nd"``, ``"sentinels"``,
+    ``"sketch"``, …). Values are arbitrary engine objects; the store
+    never interprets them beyond size accounting and snapshotting.
+
+    ``static=True`` marks an entry as immutable configuration that rides
+    along for accounting (e.g. a broadcast dimension side): it is counted
+    in :meth:`estimated_bytes` but checkpointed by reference instead of
+    deep copy.
+    """
+
+    def get(self, key: str, default: object = None) -> Any:
+        raise NotImplementedError
+
+    def put(self, key: str, value: object, static: bool = False) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def items(self) -> Iterator[tuple[str, object]]:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def entry_bytes(self) -> dict[str, int]:
+        raise NotImplementedError
+
+    def estimated_bytes(self) -> int:
+        return sum(self.entry_bytes().values())
+
+    def checkpoint(self) -> object:
+        """An opaque snapshot restorable any number of times."""
+        raise NotImplementedError
+
+    def restore(self, snapshot: object) -> None:
+        raise NotImplementedError
+
+    def __contains__(self, key: str) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+
+class InMemoryStateStore(StateStore):
+    """Dict-backed store: the default (and currently only) backend."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, object] = {}
+        self._static: set[str] = set()
+
+    def get(self, key: str, default: object = None) -> Any:
+        return self._entries.get(key, default)
+
+    def put(self, key: str, value: object, static: bool = False) -> None:
+        self._entries[key] = value
+        if static:
+            self._static.add(key)
+        else:
+            self._static.discard(key)
+
+    def delete(self, key: str) -> None:
+        self._entries.pop(key, None)
+        self._static.discard(key)
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._entries))
+
+    def items(self) -> Iterator[tuple[str, object]]:
+        return iter(list(self._entries.items()))
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._static.clear()
+
+    def entry_bytes(self) -> dict[str, int]:
+        return {k: estimate_nbytes(v) for k, v in self._entries.items()}
+
+    def checkpoint(self) -> object:
+        entries = {
+            k: (v if k in self._static else copy.deepcopy(v))
+            for k, v in self._entries.items()
+        }
+        return {"entries": entries, "static": set(self._static)}
+
+    def restore(self, snapshot: object) -> None:
+        assert isinstance(snapshot, dict)
+        static = snapshot["static"]
+        self._entries = {
+            k: (v if k in static else copy.deepcopy(v))
+            for k, v in snapshot["entries"].items()
+        }
+        self._static = set(static)

@@ -91,6 +91,38 @@ class TestMain:
     def test_nothing_to_run(self):
         assert main(["--workload", "tpch"]) == 2
 
+    def test_metrics_out_writes_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code, out = self.run(
+            [
+                "SELECT cdn, COUNT(*) AS n FROM sessions GROUP BY cdn",
+                "--scale", "0.05", "--batches", "3", "--trials", "5",
+                "--metrics-out", str(path),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert f"metrics written to {path}" in out
+        data = json.loads(path.read_text())
+        assert data["num_batches"] == 3
+        assert len(data["batches"]) == 3
+        assert all(b["op_seconds"] for b in data["batches"])
+
+    def test_parallel_executor(self, capsys):
+        code, out = self.run(
+            [
+                "SELECT cdn, COUNT(*) AS n FROM sessions GROUP BY cdn",
+                "--scale", "0.05", "--batches", "3", "--trials", "5",
+                "--executor", "parallel",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "exact" in out
+        assert "slowest operators:" in out
+
     def test_max_rows_truncation(self, capsys):
         code, out = self.run(
             [

@@ -66,6 +66,56 @@ class TestRunMetrics:
         assert rm.max_state_bytes("join") == 900
         assert rm.avg_state_bytes("join") == pytest.approx((500 + 900) / 3)
 
+    def test_op_seconds_totals(self):
+        rm = self.make()
+        rm.batches[0].add_op_seconds("scan:t", 0.5)
+        rm.batches[1].add_op_seconds("scan:t", 0.25)
+        rm.batches[1].add_op_seconds("aggregate:1", 1.0)
+        assert rm.total_op_seconds() == {"scan:t": 0.75, "aggregate:1": 1.0}
+
+    def test_to_json_round_trips(self):
+        import json
+
+        rm = self.make()
+        rm.batches[0].add_state("join:x", 500)
+        rm.batches[0].add_op_seconds("scan:t", 0.5)
+        rm.batches[1].recovered = True
+        rm.pruning_disabled = True
+        data = json.loads(rm.to_json())
+        assert data["num_batches"] == 3
+        assert data["total_seconds"] == 6.0
+        assert data["num_recoveries"] == 1
+        assert data["pruning_disabled"] is True
+        assert data["batches"][0]["state_bytes"] == {"join:x": 500}
+        assert data["batches"][0]["op_seconds"] == {"scan:t": 0.5}
+        assert data["batches"][1]["recovered"] is True
+        # indent only affects formatting, not content
+        assert json.loads(rm.to_json(indent=2)) == data
+
+
+class TestBatchMetricsMerge:
+    def test_merge_from_sums_and_unions(self):
+        a = BatchMetrics(1)
+        a.recomputed_tuples = 5
+        a.shipped_bytes = 10
+        a.add_state("join:1", 100)
+        a.add_op_seconds("scan:t", 0.5)
+        b = BatchMetrics(1)
+        b.recomputed_tuples = 7
+        b.shipped_bytes = 20
+        b.add_state("join:1", 50)
+        b.add_state("select:2", 5)
+        b.add_op_seconds("scan:t", 0.5)
+        b.recovered = True
+        b.recovery_seconds = 1.5
+        a.merge_from(b)
+        assert a.recomputed_tuples == 12
+        assert a.shipped_bytes == 30
+        assert a.state_bytes == {"join:1": 150, "select:2": 5}
+        assert a.op_seconds == {"scan:t": 1.0}
+        assert a.recovered
+        assert a.recovery_seconds == 1.5
+
 
 SCHEMA = Schema([("k", ColumnType.INT), ("v", ColumnType.FLOAT)])
 

@@ -217,6 +217,14 @@ class TestResultStream:
         results = list(engine(cat).run(FLAT, num_batches=0, batch_rows=250))
         assert len(results) == 4
 
+    def test_run_to_completion_batch_rows(self):
+        cat = make_catalog(n=1000)
+        final = engine(cat).run_to_completion(FLAT, num_batches=0, batch_rows=250)
+        assert final.is_final
+        assert final.num_batches == 4
+        expected = run_batch(FLAT, cat).relation
+        assert final.to_relation().bag_equal(expected, 4)
+
     def test_run_to_completion_empty_table(self):
         cat = Catalog({"t": random_kx(0), "dim": make_catalog().get("dim")})
         # Empty stream -> a single batch with an empty delta still works.
@@ -269,6 +277,49 @@ class TestUnsupported:
         plan = scan("t", KX_SCHEMA).join(right, keys=[]).aggregate([], [count("n")])
         with pytest.raises(UnsupportedQueryError):
             engine(make_catalog()).run_to_completion(plan, 3)
+
+
+class TestRecoveryValve:
+    """Exhausting the recovery budget must flip the engine into
+    conservative mode (monitor off), finish the run, and still deliver
+    the exact final answer — no batch may be silently dropped."""
+
+    def test_budget_exhaustion_disables_pruning_and_stays_exact(self, monkeypatch):
+        from repro.core import controller
+        from repro.core.sentinels import SentinelStore
+        from repro.errors import RangeIntegrityError
+
+        monkeypatch.setattr(controller, "_MAX_RECOVERIES", 2)
+        original_check = SentinelStore.check
+
+        def forced_check(self, ctx):
+            # Fail every live (non-replay) batch while pruning is on: the
+            # budget can never absorb this, so the valve must trip.
+            if ctx.monitor.enabled and not ctx.monitor.replaying:
+                ctx.monitor.record_failure()
+                raise RangeIntegrityError("forced failure", recover_from_batch=0)
+            return original_check(self, ctx)
+
+        monkeypatch.setattr(SentinelStore, "check", forced_check)
+
+        cat = make_catalog(n=1200)
+        plan = sbi_plan()
+        eng = engine(cat, num_trials=8)
+        final = eng.run_to_completion(plan, 6)
+
+        assert eng.metrics.pruning_disabled
+        assert eng.metrics.num_recoveries >= 1
+        # Every batch survived the valve: the final answer is still exact.
+        expected = evaluate(plan, cat)
+        assert final.to_relation().bag_equal(expected, 3)
+        # Retried batches re-ingest their delta, so the total is at least
+        # (not exactly) the table size — what matters is nothing was lost.
+        assert sum(b.new_tuples for b in eng.metrics.batches) >= 1200
+
+    def test_pruning_disabled_not_set_without_valve(self):
+        eng = engine(make_catalog())
+        eng.run_to_completion(sbi_plan(), 5)
+        assert not eng.metrics.pruning_disabled
 
 
 class TestOptimizationToggles:

@@ -54,7 +54,7 @@ class _Fixed(SpineOp):
         super().__init__("fixed", schema, set(uncertain_cols))
         self.batches = list(batches)
 
-    def process(self, ctx):
+    def process(self, delta, ctx):
         return self.batches.pop(0)
 
 
@@ -63,7 +63,7 @@ class TestScanOp:
         rel = random_kx(40, seed=1)
         ctx = make_ctx(total=40)
         feed(ctx, 1, rel)
-        out = ScanOp("t", KX_SCHEMA).process(ctx)
+        out = ScanOp("t", KX_SCHEMA).run(ctx)
         assert len(out.certain) == 40
         assert out.certain.trial_mults.shape == (40, T)
         assert len(out.volatile) == 0
@@ -72,8 +72,8 @@ class TestScanOp:
         rel = random_kx(10, seed=1)
         ctx = make_ctx(total=10)
         feed(ctx, 1, rel)
-        a = ScanOp("t", KX_SCHEMA).process(ctx)
-        b = ScanOp("t", KX_SCHEMA).process(ctx)
+        a = ScanOp("t", KX_SCHEMA).run(ctx)
+        b = ScanOp("t", KX_SCHEMA).run(ctx)
         assert (a.certain.trial_mults == b.certain.trial_mults).all()
 
     def test_scale_tracks_seen_rows(self):
@@ -92,7 +92,7 @@ class TestFilterProjectUnion:
             KX_SCHEMA,
             [DeltaBatch(ctx.delta, empty_relation(KX_SCHEMA, set(), T))],
         )
-        return op_factory(child).process(ctx)
+        return op_factory(child).run(ctx)
 
     def test_filter_applies_to_certain(self):
         rel = random_kx(50, seed=2)
@@ -115,7 +115,7 @@ class TestFilterProjectUnion:
         empty = empty_relation(KX_SCHEMA, set(), T)
         left = _Fixed(KX_SCHEMA, [DeltaBatch(ctx.delta, empty)])
         right = _Fixed(KX_SCHEMA, [DeltaBatch(ctx.delta, empty)])
-        out = UnionOp(left, right).process(ctx)
+        out = UnionOp(left, right).run(ctx)
         assert len(out.certain) == 20
 
     def test_static_emit_fires_once(self):
@@ -123,10 +123,10 @@ class TestFilterProjectUnion:
         ctx = make_ctx(total=5)
         feed(ctx, 1, rel)
         op = StaticEmitOp(rel)
-        assert len(op.process(ctx).certain) == 5
-        assert len(op.process(ctx).certain) == 0
+        assert len(op.run(ctx).certain) == 5
+        assert len(op.run(ctx).certain) == 0
         op.reset()
-        assert len(op.process(ctx).certain) == 5
+        assert len(op.run(ctx).certain) == 5
 
 
 class TestStaticJoinOp:
@@ -140,7 +140,7 @@ class TestStaticJoinOp:
         )
         node = scan("t", KX_SCHEMA).join(scan("d", DIM_SCHEMA), keys=["k"])
         op = StaticJoinOp(child, dim, [("k", "k")], node.output_schema({}), True, 1)
-        out = op.process(ctx)
+        out = op.run(ctx)
         matched = np.isin(rel.column("k"), [0, 1]).sum()
         assert len(out.certain) == matched
         assert "label" in out.certain.schema
@@ -155,7 +155,7 @@ class TestStaticJoinOp:
         )
         node = scan("t", KX_SCHEMA).join(scan("d", DIM_SCHEMA), keys=["k"])
         op = StaticJoinOp(child, dim, [("k", "k")], node.output_schema({}), True, 1)
-        op.process(ctx)
+        op.run(ctx)
         op.record_state(ctx)
         assert ctx.metrics.state_bytes_matching("join:") > 0
 
@@ -177,7 +177,7 @@ class TestAggregateOp:
         ctx = make_ctx(total=40)
         feed(ctx, 1, rel)
         op = self.make_op(ctx, ctx.delta)
-        op.process(ctx)
+        op.run(ctx)
         assert 99 in ctx.blocks
         assert len(ctx.blocks[99]) == 3
 
@@ -186,7 +186,7 @@ class TestAggregateOp:
         ctx = make_ctx(total=80)  # seeing half the data -> m = 2
         feed(ctx, 1, rel)
         op = self.make_op(ctx, ctx.delta)
-        op.process(ctx)
+        op.run(ctx)
         total_sx = sum(
             g.values["sx"].value for g in ctx.blocks[99].groups.values()
         )
@@ -197,7 +197,7 @@ class TestAggregateOp:
         ctx = make_ctx(total=40)
         feed(ctx, 1, rel)
         op = self.make_op(ctx, ctx.delta)
-        op.process(ctx)
+        op.run(ctx)
         assert all(g.certain for g in ctx.blocks[99].groups.values())
 
     def test_new_keys_tracked_across_batches(self):
@@ -216,10 +216,10 @@ class TestAggregateOp:
         node = scan("t", KX_SCHEMA).aggregate(["k"], [count("n")])
         op = AggregateOp(child, ["k"], [count("n")], node.output_schema({}), 99, True)
         feed(ctx, 1, first)
-        op.process(ctx)
+        op.run(ctx)
         first_new = list(ctx.blocks[99].new_keys)
         feed(ctx, 2, second)
-        op.process(ctx)
+        op.run(ctx)
         second_new = list(ctx.blocks[99].new_keys)
         assert set(first_new).isdisjoint(second_new)
 
@@ -237,10 +237,10 @@ class TestAggregateOp:
         node = scan("t", KX_SCHEMA).aggregate(["k"], [count("n")])
         op = AggregateOp(child, ["k"], [count("n")], node.output_schema({}), 99, True)
         feed(ctx, 1, rel.take(np.arange(0)))
-        op.process(ctx)
+        op.run(ctx)
         keys_before = set(ctx.blocks[99].groups)
         feed(ctx, 2, rel.take(np.arange(0)))
-        op.process(ctx)
+        op.run(ctx)
         # Groups that lost all (volatile) contributors stay resolvable but
         # report non-existence.
         for key in keys_before:
@@ -259,10 +259,10 @@ class TestRowSink:
         )
         sink = RowSinkOp(child)
         feed(ctx, 1, rel)
-        sink.process(ctx)
+        sink.run(ctx)
         assert len(sink.result(ctx)) == 10
         feed(ctx, 2, rel)
-        sink.process(ctx)
+        sink.run(ctx)
         assert len(sink.result(ctx)) == 20
 
 

@@ -1,0 +1,172 @@
+"""Tests for the state-store layer: stores, registry, checkpoint/restore."""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineConfig, OnlineQueryEngine
+from repro.relational import Catalog, avg, col, count, scan, sum_
+from repro.state import InMemoryStateStore, StateRegistry, estimate_nbytes
+from tests.conftest import KX_SCHEMA, random_kx
+
+
+class TestEstimateNbytes:
+    def test_none_is_free(self):
+        assert estimate_nbytes(None) == 0
+
+    def test_ndarray_uses_nbytes(self):
+        arr = np.zeros(10, dtype=np.float64)
+        assert estimate_nbytes(arr) == 80
+
+    def test_defers_to_estimated_bytes(self):
+        class Sized:
+            def estimated_bytes(self):
+                return 12345
+
+        assert estimate_nbytes(Sized()) == 12345
+
+    def test_relation_footprint(self):
+        rel = random_kx(100, seed=1)
+        assert estimate_nbytes(rel) == rel.estimated_bytes()
+
+    def test_containers_recursive(self):
+        assert estimate_nbytes({"a": 1.0}) > estimate_nbytes({})
+        assert estimate_nbytes([1, 2, 3]) > estimate_nbytes([])
+        assert estimate_nbytes({1, 2}) > estimate_nbytes(set())
+
+
+class TestInMemoryStateStore:
+    def test_put_get_delete(self):
+        store = InMemoryStateStore()
+        store.put("nd", [1, 2])
+        assert store.get("nd") == [1, 2]
+        assert "nd" in store
+        store.delete("nd")
+        assert store.get("nd") is None
+        assert "nd" not in store
+
+    def test_entry_bytes_per_key(self):
+        store = InMemoryStateStore()
+        store.put("a", np.zeros(4))
+        store.put("b", None)
+        assert store.entry_bytes() == {"a": 32, "b": 0}
+        assert store.estimated_bytes() == 32
+
+    def test_checkpoint_is_isolated_from_later_mutation(self):
+        store = InMemoryStateStore()
+        store.put("nd", [1])
+        snap = store.checkpoint()
+        store.get("nd").append(2)
+        store.put("extra", "x")
+        store.restore(snap)
+        assert store.get("nd") == [1]
+        assert "extra" not in store
+
+    def test_restore_is_repeatable(self):
+        store = InMemoryStateStore()
+        store.put("nd", {"k": 1})
+        snap = store.checkpoint()
+        store.restore(snap)
+        store.get("nd")["k"] = 99
+        store.restore(snap)
+        assert store.get("nd") == {"k": 1}
+
+    def test_static_entries_checkpoint_by_reference(self):
+        big = random_kx(50, seed=2)
+        store = InMemoryStateStore()
+        store.put("side", big, static=True)
+        snap = store.checkpoint()
+        store.restore(snap)
+        assert store.get("side") is big
+        # ... but static entries still count toward the footprint.
+        assert store.estimated_bytes() >= big.estimated_bytes()
+
+
+class TestStateRegistry:
+    def test_store_get_or_create(self):
+        reg = StateRegistry()
+        a = reg.store("select:1")
+        assert reg.store("select:1") is a
+        assert reg.get("select:1") is a
+        assert reg.get("missing") is None
+
+    def test_adopt_dedups_by_identity(self):
+        reg = StateRegistry()
+        store = InMemoryStateStore()
+        assert reg.adopt("scan:t", store) == "scan:t"
+        assert reg.adopt("scan:t", store) == "scan:t"
+        assert len(reg) == 1
+
+    def test_adopt_suffixes_namespace_collisions(self):
+        reg = StateRegistry()
+        first, second = InMemoryStateStore(), InMemoryStateStore()
+        assert reg.adopt("scan:t", first) == "scan:t"
+        assert reg.adopt("scan:t", second) == "scan:t#2"
+        assert reg.get("scan:t") is first
+        assert reg.get("scan:t#2") is second
+
+    def test_bytes_by_namespace(self):
+        reg = StateRegistry()
+        reg.store("a").put("x", np.zeros(4))
+        reg.store("b").put("y", None)
+        assert reg.bytes_by_namespace() == {"a": 32, "b": 0}
+        assert reg.total_bytes() == 32
+
+    def test_checkpoint_restore_round_trip(self):
+        reg = StateRegistry()
+        reg.store("a").put("x", [1])
+        snap = reg.checkpoint()
+        reg.store("a").put("x", [1, 2])
+        reg.store("late").put("y", 3)  # registered after the snapshot
+        reg.restore(snap)
+        assert reg.store("a").get("x") == [1]
+        assert reg.store("late").get("y") is None  # cleared
+
+
+class TestEngineStateAccounting:
+    """Every stateful operator must report its footprint through its store."""
+
+    def make_catalog(self):
+        return Catalog({"t": random_kx(1500, seed=0, groups=6)})
+
+    def nested_plan(self):
+        inner = scan("t", KX_SCHEMA).aggregate([], [avg("x", "ax")])
+        return (
+            scan("t", KX_SCHEMA)
+            .join(inner, keys=[])
+            .select(col("x") > col("ax"))
+            .aggregate([], [avg("y", "ay"), count("n")])
+        )
+
+    def test_filter_join_aggregate_all_report(self):
+        engine = OnlineQueryEngine(
+            self.make_catalog(), "t", OnlineConfig(num_trials=10, seed=5)
+        )
+        engine.run_to_completion(self.nested_plan(), 6)
+        bm = engine.metrics.batches[-1]
+        assert bm.state_bytes_matching("select:") > 0
+        assert bm.state_bytes_matching("join:") > 0
+        assert bm.state_bytes_matching("aggregate:") > 0
+
+    def test_flat_aggregate_reports(self):
+        engine = OnlineQueryEngine(
+            self.make_catalog(), "t", OnlineConfig(num_trials=10, seed=5)
+        )
+        plan = scan("t", KX_SCHEMA).aggregate(["k"], [sum_("y", "sy")])
+        engine.run_to_completion(plan, 4)
+        assert engine.metrics.batches[-1].state_bytes_matching("aggregate:") > 0
+
+    def test_operator_state_items_introspection(self):
+        from repro.core.compiler import compile_online
+        from repro.core.operators import UncertainFilterOp, iter_ops
+
+        catalog = self.make_catalog()
+        compiled = compile_online(self.nested_plan(), catalog, "t")
+        ops = [
+            op
+            for unit in compiled.units
+            if hasattr(unit, "root_op")
+            for op in iter_ops(unit.root_op)
+        ]
+        filters = [op for op in ops if isinstance(op, UncertainFilterOp)]
+        assert filters
+        assert {k for k, _ in filters[0].state_items()} == {"nd", "sentinels"}
