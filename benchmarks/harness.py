@@ -15,6 +15,7 @@ import functools
 import pathlib
 from dataclasses import dataclass
 
+from repro.analysis import check_plan
 from repro.baselines import BatchRunResult, HDAExecutor, run_batch
 from repro.core import OnlineConfig, OnlineQueryEngine, PartialResult
 from repro.metrics import RunMetrics
@@ -106,11 +107,15 @@ def run_iolap(
         ),
         executor=executor,
     )
+    # Static analysis runs once per query before execution; its wall time
+    # rides along in the metrics JSON as the analyzer's fixed cost.
+    analysis = check_plan(spec.plan, catalog, spec.streamed_table, subject=spec.name)
     partials = []
     for partial in engine.run(spec.plan, num_batches):
         if keep_partials:
             partials.append(partial)
     engine.executor.close()
+    engine.metrics.analysis_seconds = analysis.wall_seconds
     return OnlineRun(spec, engine.metrics, partials)
 
 

@@ -8,6 +8,19 @@ Examples::
 
     python -m repro.cli --workload tpch --query Q17 --engine hda
     python -m repro.cli --workload tpch --list-queries
+
+The ``analyze`` subcommand runs the static analysis suite instead of
+executing anything: the plan typechecker over named workload queries or
+ad-hoc SQL, and (with ``--lint``) the engine-contract lint over the
+installed ``repro`` sources::
+
+    python -m repro.cli analyze                       # all bundled queries
+    python -m repro.cli analyze --workload tpch --query Q17
+    python -m repro.cli analyze --lint --json report.json
+    python -m repro.cli analyze "SELECT COUNT(*) AS n FROM sessions"
+
+Exit status is 1 if any analysis reported a violation. ``--verify`` (run
+mode) enables the runtime contract checks on top of normal execution.
 """
 
 from __future__ import annotations
@@ -78,10 +91,112 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="PATH", default=None,
         help="write per-batch run metrics as JSON to PATH (iolap engine)",
     )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="enable runtime contract checks (iolap engine): input "
+        "immutability, state-entry discipline, cross-thread write "
+        "isolation; results are unchanged",
+    )
     return parser
 
 
+def build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli analyze",
+        description="Statically analyze queries (plan typechecker) and the "
+        "engine sources (contract lint) without executing anything.",
+    )
+    parser.add_argument("sql", nargs="?", help="SQL text to typecheck")
+    parser.add_argument(
+        "--workload", choices=[*sorted(_WORKLOADS), "all"], default="all",
+        help="workload whose named queries to check (default: all)",
+    )
+    parser.add_argument(
+        "--query", help="check a single named benchmark query (e.g. Q17, C8)"
+    )
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="workload scale for catalog schemas")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument(
+        "--stream", help="table to stream (default: the workload's fact table)"
+    )
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="also lint the installed repro sources for engine-contract "
+        "violations (ENG0xx rules)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write all reports as a JSON array to PATH (the CI artifact)",
+    )
+    return parser
+
+
+def run_analyze(argv: Sequence[str]) -> int:
+    """The ``analyze`` subcommand: typecheck queries, optionally lint."""
+    from repro.analysis import analyze_query, check_plan, run_lint
+
+    args = build_analyze_parser().parse_args(argv)
+    reports = []
+
+    if args.sql is not None:
+        workload = args.workload if args.workload != "all" else "conviva"
+        generate, _, default_stream = _WORKLOADS[workload]
+        catalog = generate(scale=args.scale, seed=args.seed).catalog()
+        reports.append(
+            analyze_query(args.sql, catalog, args.stream or default_stream)
+        )
+    else:
+        workloads = sorted(_WORKLOADS) if args.workload == "all" else [args.workload]
+        for workload in workloads:
+            generate, queries, _ = _WORKLOADS[workload]
+            if args.query is not None and args.query not in queries:
+                continue
+            catalog = generate(scale=args.scale, seed=args.seed).catalog()
+            for name, spec in queries.items():
+                if args.query is not None and name != args.query:
+                    continue
+                reports.append(
+                    check_plan(
+                        spec.plan,
+                        catalog,
+                        spec.streamed_table,
+                        subject=f"{workload}:{name}",
+                    )
+                )
+        if args.query is not None and not reports:
+            print(f"unknown query {args.query!r}; try --list-queries",
+                  file=sys.stderr)
+            return 2
+
+    if args.lint:
+        reports.append(run_lint())
+
+    for report in reports:
+        print(report.format())
+    failed = [r for r in reports if not r.ok]
+    total = sum(len(r.diagnostics) for r in reports)
+    print(f"analyzed {len(reports)} subject(s): "
+          f"{len(failed)} with violations, {total} finding(s)")
+
+    if args.json:
+        import json as _json
+
+        try:
+            with open(args.json, "w") as fh:
+                _json.dump([r.to_dict() for r in reports], fh, indent=2)
+        except OSError as exc:
+            print(f"cannot write report to {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"report written to {args.json}")
+    return 1 if failed else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        return run_analyze(argv[1:])
     args = build_parser().parse_args(argv)
     generate, queries, default_stream = _WORKLOADS[args.workload]
 
@@ -137,7 +252,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     engine = OnlineQueryEngine(
         catalog,
         streamed,
-        OnlineConfig(num_trials=args.trials, slack=args.slack, seed=args.seed),
+        OnlineConfig(
+            num_trials=args.trials,
+            slack=args.slack,
+            seed=args.seed,
+            verify=args.verify,
+        ),
         executor=args.executor,
     )
     partial = None

@@ -133,6 +133,11 @@ class OnlineConfig:
     lazy_lineage: bool = True
     #: RNG seed for partitioning and bootstrap draws.
     seed: int = 0
+    #: Contract-check mode: cross-check the static analyzer's claims at
+    #: runtime (input fingerprints around each ``process`` call, state-key
+    #: snapshots per batch, cross-thread store-write detection). Purely
+    #: observational — results are bit-identical to a non-verify run.
+    verify: bool = False
 
 
 class RuntimeContext:
@@ -164,6 +169,13 @@ class RuntimeContext:
         #: True while replaying batches during failure recovery: range
         #: observations neither check integrity nor tighten ranges.
         self.replaying = False
+        #: Runtime contract verifier (``--verify`` mode), or None. Imported
+        #: lazily: repro.analysis must stay optional on the hot path.
+        self.verifier = None
+        if config.verify:
+            from repro.analysis.verify import ContractVerifier
+
+            self.verifier = ContractVerifier()
 
     # -- metrics routing -----------------------------------------------------------
 

@@ -93,7 +93,12 @@ class ExecutionUnit:
         pass
 
     def run(self, ctx: RuntimeContext) -> None:
-        raise NotImplementedError
+        # Matches the compiler's other rejection paths: reaching an
+        # abstract unit at runtime means the plan compiled to something
+        # the engine cannot actually execute.
+        raise UnsupportedQueryError(
+            f"execution unit {self.label!r} has no runnable implementation"
+        )
 
     def close(self) -> None:
         pass
@@ -214,6 +219,13 @@ class OnlineCompiler:
         self.tags: dict[int, NodeTags] = analyze(plan, {streamed_table})
         self.schemas = catalog.schemas()
         self.units: list[ExecutionUnit] = []
+        #: node_id -> compiled ref, for plan nodes referenced more than
+        #: once (a subquery bound to a variable and reused, e.g. the
+        #: agg-of-agg pattern). Without this, a shared AGGREGATE would
+        #: compile into two pipeline units racing to publish the same
+        #: lineage block. Stream refs are never memoized: an operator
+        #: chain is single-consumer, so each parent gets its own copy.
+        self._memo: dict[int, _Ref] = {}
 
     # -- public API -------------------------------------------------------------------
 
@@ -243,6 +255,9 @@ class OnlineCompiler:
     # -- recursion ---------------------------------------------------------------------
 
     def _compile(self, node: PlanNode) -> _Ref:
+        memoized = self._memo.get(node.node_id)
+        if memoized is not None:
+            return memoized
         handler = {
             Scan: self._compile_scan,
             Select: self._compile_select,
@@ -255,9 +270,13 @@ class OnlineCompiler:
         }.get(type(node))
         if handler is None:
             raise UnsupportedQueryError(
-                f"cannot compile node {type(node).__name__} for online execution"
+                f"cannot compile node {type(node).__name__} for online execution",
+                node=node,
             )
-        return handler(node)
+        ref = handler(node)
+        if ref.kind != "stream":
+            self._memo[node.node_id] = ref
+        return ref
 
     def _schema(self, node: PlanNode) -> Schema:
         return node.output_schema(self.schemas)
@@ -285,7 +304,8 @@ class OnlineCompiler:
                 if not isinstance(part, Comparison):
                     raise UnsupportedQueryError(
                         f"predicate {part!r} over uncertain columns must be a "
-                        "simple comparison (x ϑ y)"
+                        "simple comparison (x ϑ y)",
+                        node=node,
                     )
                 uncertain.append(part)
             else:
@@ -345,7 +365,8 @@ class OnlineCompiler:
                 stream=UnionOp(stream_side, StaticEmitOp(static_side))
             )
         raise UnsupportedQueryError(
-            "UNION between aggregate-derived inputs is not supported online"
+            "UNION between aggregate-derived inputs is not supported online",
+            node=node,
         )
 
     def _compile_join(self, node: Join) -> _Ref:

@@ -29,6 +29,8 @@ from repro.core.operators.aggregate import AggregateOp
 from repro.core.operators.base import (
     DeltaBatch,
     SpineOp,
+    StateRule,
+    TagRule,
     drive_pipeline,
     empty_relation,
     iter_ops,
@@ -49,8 +51,10 @@ __all__ = [
     "RowSinkOp",
     "ScanOp",
     "SpineOp",
+    "StateRule",
     "StaticEmitOp",
     "StaticJoinOp",
+    "TagRule",
     "UncertainFilterOp",
     "UncertainJoinOp",
     "UnionOp",

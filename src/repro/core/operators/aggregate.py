@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.core.blocks import BlockOutput, GroupKey, GroupValue, RuntimeContext
 from repro.core.classify import evaluate_side
-from repro.core.operators.base import DeltaBatch, SpineOp
+from repro.core.operators.base import DeltaBatch, SpineOp, StateRule, TagRule
 from repro.core.sketch import AggBundle
 from repro.core.values import LineageRef, UncertainValue
 from repro.errors import UnsupportedQueryError
@@ -25,6 +25,25 @@ class AggregateOp(SpineOp):
     from scratch each batch (they are few — that is the point). The
     combined result is published as this lineage block's output.
     """
+
+    #: AGGREGATE ends a lineage block: input tags are absorbed into the
+    #: published block output (fresh ``u#``/``uA`` tags downstream). The
+    #: §4.2 state rule is sketch-only over certain-append input; the row
+    #: store ("rows") is populated only when a lazy/holistic aggregate
+    #: argument demands re-evaluation.
+    tag_rule = TagRule(consumes_uncertain="allowed", resets_tags=True)
+    state_rule = StateRule(
+        frozenset(
+            {
+                "sketch",
+                "sketch_ready",
+                "rows",
+                "certain_groups",
+                "published_keys",
+                "tombstones",
+            }
+        )
+    )
 
     def __init__(
         self,
@@ -260,8 +279,10 @@ class AggregateOp(SpineOp):
             self._published_keys.add(key)
         # Groups that vanished (all their volatile contributors currently
         # excluded) stay visible with empty existence, so downstream
-        # lineage references keep resolving.
-        for key in self._published_keys - set(per_group):
+        # lineage references keep resolving. Sorted so the tombstone order
+        # (and hence the output's group iteration order) does not depend
+        # on set hashing.
+        for key in sorted(self._published_keys - set(per_group)):
             tomb = self._tombstones.get(key)
             if tomb is None:
                 values = {c: k for c, k in zip(self.group_by, key)}

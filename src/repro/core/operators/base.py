@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterator
+from typing import ClassVar, Iterator
 
 import numpy as np
 
@@ -58,6 +58,52 @@ class DeltaBatch:
         return len(self.certain) + len(self.volatile)
 
 
+@dataclass(frozen=True)
+class TagRule:
+    """Declarative Appendix-A tag behaviour of one operator class.
+
+    The ``repro.analysis`` plan typechecker consumes these specs to check
+    that the compiler placed each operator exactly where its uncertainty
+    tags (``u#``/``uA``) allow:
+
+    * ``consumes_uncertain`` — whether the operator's own expressions may
+      read uncertain attributes of its input: ``"forbidden"`` (a purely
+      deterministic variant exists and must be used instead),
+      ``"required"`` (the operator only makes sense over uncertain
+      attributes), or ``"allowed"`` (pass-through either way);
+    * ``introduces_nd`` — the operator can move tuples into a
+      non-deterministic set (``u# = T`` decisions it must re-examine);
+    * ``resets_tags`` — output tags are the operator's own (an AGGREGATE
+      publishes a lineage block; input tags do not flow through).
+    """
+
+    consumes_uncertain: str = "allowed"
+    introduces_nd: bool = False
+    resets_tags: bool = False
+
+
+@dataclass(frozen=True)
+class StateRule:
+    """Declarative §4.2 state contract of one operator class.
+
+    ``entries`` is the exact set of named :class:`~repro.state.StateStore`
+    entries the operator owns between batches (seeded by ``_init_state``);
+    ``nd_entry`` names the non-deterministic cache among them, if any.
+    The typechecker checks the entries against the store, and the
+    ``--verify`` runtime verifier re-checks them after every ``process``
+    call, so stray between-batch state cannot hide in instance attributes.
+    """
+
+    entries: frozenset[str] = frozenset()
+    nd_entry: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.nd_entry is not None and self.nd_entry not in self.entries:
+            raise ValueError(
+                f"nd_entry {self.nd_entry!r} missing from entries {set(self.entries)!r}"
+            )
+
+
 def empty_relation(schema: Schema, uncertain_cols: set[str], num_trials: int) -> Relation:
     """Empty relation whose uncertain columns use object dtype (refs)."""
     cols = {}
@@ -71,6 +117,12 @@ def empty_relation(schema: Schema, uncertain_cols: set[str], num_trials: int) ->
 
 class SpineOp:
     """Base class of online operators in a stream pipeline."""
+
+    #: Declarative analyzer specs; every concrete operator class overrides
+    #: these (checked statically by ``repro.analysis.typecheck`` and
+    #: dynamically by the ``--verify`` contract mode).
+    tag_rule: ClassVar[TagRule] = TagRule()
+    state_rule: ClassVar[StateRule] = StateRule()
 
     def __init__(
         self,
@@ -157,9 +209,14 @@ def drive_pipeline(root: SpineOp, ctx: RuntimeContext) -> DeltaBatch:
         delta = inputs[0]
     else:
         delta = inputs
+    verifier = ctx.verifier
+    if verifier is not None:
+        verifier.before_process(root, delta, ctx)
     started = time.perf_counter()
     out = root.process(delta, ctx)
     ctx.metrics.add_op_seconds(root.label, time.perf_counter() - started)
+    if verifier is not None:
+        verifier.after_process(root, delta, ctx)
     return out
 
 

@@ -17,6 +17,8 @@ from repro.core.classify import (
 from repro.core.operators.base import (
     DeltaBatch,
     SpineOp,
+    StateRule,
+    TagRule,
     filter_det,
     mask_contribution,
     subset_masks,
@@ -28,6 +30,12 @@ from repro.relational.relation import Relation
 
 class FilterOp(SpineOp):
     """SELECT with a fully deterministic predicate — pure delta rule."""
+
+    #: A deterministic SELECT must never read uncertain attributes (the
+    #: compiler must emit UncertainFilterOp there) and keeps no state: the
+    #: §4.2 SELECT rule over certain input is a pure delta rule.
+    tag_rule = TagRule(consumes_uncertain="forbidden")
+    state_rule = StateRule()
 
     def __init__(self, child: SpineOp, predicate: Expression):
         super().__init__(
@@ -52,6 +60,12 @@ class UncertainFilterOp(SpineOp):
     or stay non-deterministic and contribute to the volatile output with
     their current point decision and per-trial decisions.
     """
+
+    #: SELECT over uncertain attributes keeps the non-deterministic set
+    #: U_i ("nd") plus the sentinel guards of its pruned decisions — the
+    #: §4.2/§5.2 state rule for uncertain predicates.
+    tag_rule = TagRule(consumes_uncertain="required", introduces_nd=True)
+    state_rule = StateRule(frozenset({"nd", "sentinels"}), nd_entry="nd")
 
     def __init__(
         self,

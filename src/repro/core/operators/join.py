@@ -9,6 +9,8 @@ from repro.core.classify import FALSE, PENDING, TRUE, UNKNOWN
 from repro.core.operators.base import (
     DeltaBatch,
     SpineOp,
+    StateRule,
+    TagRule,
     empty_relation,
     mask_contribution,
 )
@@ -26,6 +28,11 @@ class StaticJoinOp(SpineOp):
     operator state is just the dimension side, kept in memory from batch 1
     (and reported as join state for the Figure 9(b) accounting).
     """
+
+    #: The paper's JOIN state rule with a certain side: state is exactly
+    #: the broadcast dimension side; no non-deterministic set can arise.
+    tag_rule = TagRule(consumes_uncertain="forbidden")
+    state_rule = StateRule(frozenset({"side", "announced"}))
 
     def __init__(
         self,
@@ -83,6 +90,15 @@ class UncertainJoinOp(SpineOp):
     rows whose group has not been published at all wait in the pending
     store (re-tried every batch).
     """
+
+    #: JOIN against an uncertain block output: unresolved-membership rows
+    #: form the non-deterministic set ("nd"), unpublished-group rows wait
+    #: in "pending", and resolved memberships are sentinel-guarded — the
+    #: §4.2 JOIN rule when the other input carries uncertainty.
+    tag_rule = TagRule(consumes_uncertain="required", introduces_nd=True)
+    state_rule = StateRule(
+        frozenset({"nd", "pending", "member_sentinels"}), nd_entry="nd"
+    )
 
     def __init__(
         self,

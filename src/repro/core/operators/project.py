@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.blocks import RuntimeContext
-from repro.core.operators.base import DeltaBatch, SpineOp
+from repro.core.operators.base import DeltaBatch, SpineOp, StateRule, TagRule
 from repro.errors import UnsupportedQueryError
 from repro.relational.algebra import Project
 from repro.relational.relation import Relation
@@ -16,6 +16,11 @@ class ProjectOp(SpineOp):
     """PROJECT over a stream. Uncertain columns may only pass through
     unchanged (computation over uncertain attributes is deferred to the
     use sites — the lazy-evaluation principle)."""
+
+    #: Stateless pure delta rule; uncertain attributes may pass through
+    #: by name but must not be computed over (checked at construction).
+    tag_rule = TagRule(consumes_uncertain="allowed")
+    state_rule = StateRule()
 
     def __init__(self, child: SpineOp, node: Project, schema: Schema):
         uncertain_out = set()
@@ -50,6 +55,10 @@ class ProjectOp(SpineOp):
 
 
 class RenameOp(SpineOp):
+    #: Stateless pure delta rule; tags flow through under the renaming.
+    tag_rule = TagRule(consumes_uncertain="allowed")
+    state_rule = StateRule()
+
     def __init__(self, child: SpineOp, mapping: dict[str, str], schema: Schema):
         renamed = {mapping.get(c, c) for c in child.uncertain_cols}
         super().__init__("rename", schema, renamed, (child,))

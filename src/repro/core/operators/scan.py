@@ -3,13 +3,19 @@
 from __future__ import annotations
 
 from repro.core.blocks import RuntimeContext
-from repro.core.operators.base import DeltaBatch, SpineOp
+from repro.core.operators.base import DeltaBatch, SpineOp, StateRule, TagRule
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 
 
 class ScanOp(SpineOp):
     """Leaf of a stream pipeline: this batch's delta of the streamed table."""
+
+    #: Stateless leaf: emits the installed streamed delta as certain rows
+    #: (tuple-uncertainty of the stream is carried by the sampling
+    #: multiplicities, not by an ND set here).
+    tag_rule = TagRule(consumes_uncertain="forbidden")
+    state_rule = StateRule()
 
     def __init__(self, table: str, schema: Schema):
         super().__init__(f"scan:{table}", schema, set())
@@ -25,6 +31,10 @@ class StaticEmitOp(SpineOp):
     Used for the static branch of a UNION with a stream: the static rows
     are all certain and appear exactly once.
     """
+
+    #: One bit of state: whether the one-shot emission already happened.
+    tag_rule = TagRule(consumes_uncertain="forbidden")
+    state_rule = StateRule(frozenset({"emitted"}))
 
     def __init__(self, relation: Relation, label: str = "static"):
         super().__init__(label, relation.schema, set())

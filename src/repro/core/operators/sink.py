@@ -3,13 +3,18 @@
 from __future__ import annotations
 
 from repro.core.blocks import RuntimeContext
-from repro.core.operators.base import DeltaBatch, SpineOp
+from repro.core.operators.base import DeltaBatch, SpineOp, StateRule, TagRule
 from repro.relational.relation import Relation
 
 
 class RowSinkOp(SpineOp):
     """Accumulates permanently emitted rows; the current result is the
     accumulation plus this batch's volatile contribution."""
+
+    #: Result accumulation state: permanently emitted rows plus the most
+    #: recent volatile contribution (replaced, never merged, per batch).
+    tag_rule = TagRule(consumes_uncertain="allowed")
+    state_rule = StateRule(frozenset({"accumulated", "volatile"}))
 
     def __init__(self, child: SpineOp):
         super().__init__("sink", child.schema, child.uncertain_cols, (child,))

@@ -3,10 +3,15 @@
 from __future__ import annotations
 
 from repro.core.blocks import RuntimeContext
-from repro.core.operators.base import DeltaBatch, SpineOp
+from repro.core.operators.base import DeltaBatch, SpineOp, StateRule, TagRule
 
 
 class UnionOp(SpineOp):
+    #: Stateless pure delta rule: UNION of the certain channels and the
+    #: volatile channels independently (bag-union tags from both inputs).
+    tag_rule = TagRule(consumes_uncertain="allowed")
+    state_rule = StateRule()
+
     def __init__(self, left: SpineOp, right: SpineOp):
         super().__init__(
             "union",

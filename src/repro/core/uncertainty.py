@@ -125,12 +125,14 @@ def _tag_inner(
             if lk in left.uncertain_cols or rk in right.uncertain_cols:
                 raise UnsupportedQueryError(
                     f"join key {lk!r}={rk!r} is uncertain under sampling; "
-                    "approximate join keys are not supported (Section 3.3)"
+                    "approximate join keys are not supported (Section 3.3)",
+                    node=node,
                 )
         if left.raw_stream and right.raw_stream:
             raise UnsupportedQueryError(
                 "both join inputs stream the raw fact table; stream only one "
-                "input relation and read the others in entirety (Section 2)"
+                "input relation and read the others in entirety (Section 2)",
+                node=node,
             )
         kept_right = right.uncertain_cols - set(node.right_keys)
         return NodeTags(
@@ -156,7 +158,8 @@ def _tag_inner(
             if g in child.uncertain_cols:
                 raise UnsupportedQueryError(
                     f"group-by key {g!r} is uncertain under sampling; "
-                    "approximate group-by keys are not supported (Section 3.3)"
+                    "approximate group-by keys are not supported (Section 3.3)",
+                    node=node,
                 )
         agg_uncertain: set[str] = set()
         for spec in node.aggs:
@@ -169,7 +172,8 @@ def _tag_inner(
                 raise UnsupportedQueryError(
                     f"aggregate {spec.func.name.upper()} is not Hadamard "
                     "differentiable and cannot be approximated under "
-                    "sampling (Section 3.3)"
+                    "sampling (Section 3.3)",
+                    node=node,
                 )
             if input_changes:
                 agg_uncertain.add(spec.name)
@@ -185,8 +189,11 @@ def _tag_inner(
         for c in node.columns:
             if c in child.uncertain_cols:
                 raise UnsupportedQueryError(
-                    f"distinct over uncertain column {c!r} is not supported"
+                    f"distinct over uncertain column {c!r} is not supported",
+                    node=node,
                 )
         return NodeTags(child.tuple_uncertain, frozenset(), False, False)
 
-    raise UnsupportedQueryError(f"cannot analyze node {type(node).__name__}")
+    raise UnsupportedQueryError(
+        f"cannot analyze node {type(node).__name__}", node=node
+    )

@@ -45,6 +45,8 @@ class SerialExecutor(BatchExecutor):
     name = "serial"
 
     def execute(self, units: Sequence[ExecutionUnit], ctx: RuntimeContext) -> None:
+        if ctx.verifier is not None:
+            ctx.verifier.begin_batch(ctx.batch_no)
         for unit in units:
             started = time.perf_counter()
             unit.run(ctx)
@@ -107,6 +109,8 @@ class ParallelExecutor(BatchExecutor):
         return self._pool
 
     def execute(self, units: Sequence[ExecutionUnit], ctx: RuntimeContext) -> None:
+        if ctx.verifier is not None:
+            ctx.verifier.begin_batch(ctx.batch_no)
         pool = self._ensure_pool()
         scratches: list[tuple[int, BatchMetrics]] = []
         failures: list[tuple[int, BaseException]] = []

@@ -38,7 +38,15 @@ class UnsupportedQueryError(ReproError):
     approximate join/group-by keys under sampling, and aggregate functions
     must be Hadamard differentiable (so MIN/MAX are rejected online even
     though the batch evaluator supports them).
+
+    Rejection sites pass the offending plan node so callers (and the
+    ``repro.analysis`` typechecker) can point at the exact plan location.
     """
+
+    def __init__(self, message: str, node: object = None):
+        super().__init__(message)
+        #: The plan node the rejection is about, when known.
+        self.node = node
 
 
 class RangeIntegrityError(ReproError):
@@ -59,3 +67,15 @@ class RangeIntegrityError(ReproError):
 
 class CatalogError(ReproError):
     """A referenced table is missing from the catalog."""
+
+
+class ContractViolationError(ReproError):
+    """A runtime engine-contract check failed (``--verify`` mode).
+
+    Raised by :class:`repro.analysis.verify.ContractVerifier` when an
+    operator breaks a contract the executor relies on: mutating its input
+    :class:`~repro.core.operators.DeltaBatch` or the installed streamed
+    delta, growing state entries outside its declared
+    :class:`~repro.state.StateStore` names, or two threads of one
+    ParallelExecutor wave touching the same store entry.
+    """

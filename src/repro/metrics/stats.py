@@ -92,6 +92,10 @@ class RunMetrics:
     #: exhausted its recovery budget and finished in conservative mode
     #: (range monitor disabled, no pruning).
     pruning_disabled: bool = False
+    #: Wall seconds the static plan analysis took before execution (zero
+    #: when the run skipped analysis); the harness records it so the
+    #: analyzer's fixed per-query cost is visible next to execution time.
+    analysis_seconds: float = 0.0
 
     def start_batch(self, batch_no: int) -> BatchMetrics:
         bm = BatchMetrics(batch_no)
@@ -139,6 +143,7 @@ class RunMetrics:
             "total_shipped_bytes": self.total_shipped_bytes,
             "num_recoveries": self.num_recoveries,
             "pruning_disabled": self.pruning_disabled,
+            "analysis_seconds": self.analysis_seconds,
             "op_seconds": self.total_op_seconds(),
             "batches": [bm.to_dict() for bm in self.batches],
         }

@@ -229,11 +229,36 @@ class Relation:
         return {k: round(v, ndigits) for k, v in out.items() if round(v, ndigits) != 0}
 
     def bag_equal(self, other: "Relation", ndigits: int = 6) -> bool:
-        """Bag equality up to rounding — the reference check used in tests."""
-        return (
-            self.schema.names == other.schema.names
-            and self.to_multiset(ndigits) == other.to_multiset(ndigits)
+        """Bag equality up to ``10**-ndigits`` — the reference check in tests."""
+        if self.schema.names != other.schema.names:
+            return False
+        if self.to_multiset(ndigits) == other.to_multiset(ndigits):
+            return True
+        # Rounding both sides can split values that straddle a decimal
+        # boundary (50.9715 vs 50.971500000000006 at ndigits=3 round to
+        # different keys although they differ by 7e-15), so on mismatch
+        # fall back to sorted row matching with an explicit tolerance.
+        tol = 10.0**-ndigits
+        mine = sorted(
+            self.to_multiset(ndigits + 6).items(),
+            key=lambda kv: tuple(_sort_key(v) for v in kv[0]),
         )
+        theirs = sorted(
+            other.to_multiset(ndigits + 6).items(),
+            key=lambda kv: tuple(_sort_key(v) for v in kv[0]),
+        )
+        if len(mine) != len(theirs):
+            return False
+        for (key_a, mult_a), (key_b, mult_b) in zip(mine, theirs):
+            if abs(mult_a - mult_b) > tol:
+                return False
+            for val_a, val_b in zip(key_a, key_b):
+                if isinstance(val_a, float) and isinstance(val_b, float):
+                    if abs(val_a - val_b) > tol:
+                        return False
+                elif val_a != val_b:
+                    return False
+        return True
 
     def sort_rows(self, by: Sequence[str] | None = None) -> list[Row]:
         """Materialize rows sorted by ``by`` (all columns if omitted)."""

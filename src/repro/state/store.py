@@ -34,9 +34,13 @@ def estimate_nbytes(value: object) -> int:
     if isinstance(value, str):
         return 49 + len(value)
     if isinstance(value, (set, frozenset)):
-        return 64 + 32 * len(value)
+        return 64 + sum(16 + estimate_nbytes(v) for v in value)
     if isinstance(value, dict):
-        return 64 + sum(32 + estimate_nbytes(v) for v in value.values())
+        # Keys are measured like any other value (a tuple group key or a
+        # long string key is real state); 16 covers the hash-table slot.
+        return 64 + sum(
+            16 + estimate_nbytes(k) + estimate_nbytes(v) for k, v in value.items()
+        )
     if isinstance(value, (list, tuple)):
         return 56 + sum(8 + estimate_nbytes(v) for v in value)
     return 64
@@ -95,16 +99,25 @@ class StateStore:
 
 
 class InMemoryStateStore(StateStore):
-    """Dict-backed store: the default (and currently only) backend."""
+    """Dict-backed store: the default (and currently only) backend.
+
+    An optional *write observer* (``callable(key)``) is invoked on every
+    ``put``/``delete``; the ``--verify`` contract checker installs one to
+    attribute store writes to operators and threads. ``None`` (the
+    default) costs one attribute read per write.
+    """
 
     def __init__(self) -> None:
         self._entries: dict[str, object] = {}
         self._static: set[str] = set()
+        self.observer: Any = None
 
     def get(self, key: str, default: object = None) -> Any:
         return self._entries.get(key, default)
 
     def put(self, key: str, value: object, static: bool = False) -> None:
+        if self.observer is not None:
+            self.observer(key)
         self._entries[key] = value
         if static:
             self._static.add(key)
@@ -112,6 +125,8 @@ class InMemoryStateStore(StateStore):
             self._static.discard(key)
 
     def delete(self, key: str) -> None:
+        if self.observer is not None:
+            self.observer(key)
         self._entries.pop(key, None)
         self._static.discard(key)
 

@@ -1,0 +1,374 @@
+"""The plan typechecker: clean on every bundled query, and every rule in
+the TC catalog fires on a deliberately broken fixture (no dead rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze_query, check_plan
+from repro.analysis.typecheck import (
+    TYPECHECK_RULES,
+    check_pipeline,
+    check_units,
+    infer_tags,
+)
+from repro.core.compiler import ExecutionUnit, StreamPipelineUnit, compile_online
+from repro.core.operators import (
+    AggregateOp,
+    FilterOp,
+    ScanOp,
+    StateRule,
+    UncertainFilterOp,
+    iter_ops,
+)
+from repro.core.uncertainty import NodeTags
+from repro.errors import UnsupportedQueryError
+from repro.relational import (
+    HolisticUDAF,
+    AggSpec,
+    avg,
+    col,
+    count,
+    lit,
+    min_,
+    scan,
+    stddev,
+    sum_,
+)
+from repro.relational.algebra import PlanNode
+from repro.relational.expressions import Or
+from repro.workloads import (
+    CONVIVA_QUERIES,
+    TPCH_QUERIES,
+    generate_conviva,
+    generate_tpch,
+)
+from tests.conftest import KX_SCHEMA
+
+STREAMED = {"t"}
+
+
+def _kx():
+    return scan("t", KX_SCHEMA)
+
+
+def _with_uncertain():
+    """Stream joined with its own aggregate: column ``ax`` is uncertain."""
+    inner = _kx().aggregate([], [avg("x", "ax")])
+    return _kx().join(inner, keys=[])
+
+
+def _rules_of(diags) -> set[str]:
+    return {d.rule_id for d in diags}
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: every bundled workload query typechecks clean.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tpch_catalog():
+    return generate_tpch(scale=0.05, seed=1).catalog()
+
+
+@pytest.fixture(scope="module")
+def conviva_catalog():
+    return generate_conviva(scale=0.05, seed=1).catalog()
+
+
+@pytest.mark.parametrize("name", sorted(TPCH_QUERIES))
+def test_tpch_queries_clean(name, tpch_catalog):
+    spec = TPCH_QUERIES[name]
+    report = check_plan(spec.plan, tpch_catalog, spec.streamed_table, subject=name)
+    assert report.ok, report.format()
+    assert report.wall_seconds > 0
+
+
+@pytest.mark.parametrize("name", sorted(CONVIVA_QUERIES))
+def test_conviva_queries_clean(name, conviva_catalog):
+    spec = CONVIVA_QUERIES[name]
+    report = check_plan(spec.plan, conviva_catalog, spec.streamed_table, subject=name)
+    assert report.ok, report.format()
+
+
+def test_analyze_query_sql_roundtrip(conviva_catalog):
+    report = analyze_query(
+        "SELECT cdn, COUNT(*) AS n FROM sessions GROUP BY cdn",
+        conviva_catalog,
+        "sessions",
+    )
+    assert report.ok, report.format()
+
+
+def test_analyze_query_bad_sql_reports_tc101(conviva_catalog):
+    report = analyze_query("FROBNICATE everything", conviva_catalog, "sessions")
+    assert not report.ok
+    assert _rules_of(report.diagnostics) == {"TC101"}
+
+
+# ---------------------------------------------------------------------------
+# TC1xx: tag-inference rules, one broken plan per rule.
+# ---------------------------------------------------------------------------
+
+
+def test_tc101_unsupported_node():
+    class Exotic(PlanNode):
+        pass
+
+    _, diags = infer_tags(Exotic(), STREAMED)
+    assert "TC101" in _rules_of(diags)
+
+
+def test_tc102_uncertain_join_key():
+    inner = _kx().aggregate(["k"], [avg("x", "ax")]).rename({"k": "k2"})
+    plan = _kx().join(inner, keys=[("x", "ax")])
+    _, diags = infer_tags(plan, STREAMED)
+    assert "TC102" in _rules_of(diags)
+
+
+def test_tc103_stream_stream_join():
+    plan = _kx().join(_kx(), keys=[("k", "k")])
+    _, diags = infer_tags(plan, STREAMED)
+    assert "TC103" in _rules_of(diags)
+
+
+def test_tc104_uncertain_group_by():
+    plan = _with_uncertain().aggregate(["ax"], [count("n")])
+    _, diags = infer_tags(plan, STREAMED)
+    assert "TC104" in _rules_of(diags)
+
+
+def test_tc105_non_hadamard_aggregate():
+    plan = _kx().aggregate(["k"], [min_("x", "mn")])
+    _, diags = infer_tags(plan, STREAMED)
+    assert "TC105" in _rules_of(diags)
+
+
+def test_tc106_distinct_uncertain():
+    plan = _with_uncertain().distinct(["ax"])
+    _, diags = infer_tags(plan, STREAMED)
+    assert "TC106" in _rules_of(diags)
+
+
+def test_tc107_non_comparison_uncertain_predicate():
+    pred = Or(col("x") > col("ax"), col("y") > col("ax"))
+    plan = _with_uncertain().select(pred)
+    _, diags = infer_tags(plan, STREAMED)
+    assert "TC107" in _rules_of(diags)
+
+
+def test_tc108_projection_computes_over_uncertain():
+    plan = _with_uncertain().project([("z", col("ax") * 2.0), ("k", col("k"))])
+    _, diags = infer_tags(plan, STREAMED)
+    assert "TC108" in _rules_of(diags)
+
+
+def test_tc109_multi_feature_uncertain_aggregate():
+    plan = _with_uncertain().aggregate([], [stddev("ax", "sd")])
+    _, diags = infer_tags(plan, STREAMED)
+    assert "TC109" in _rules_of(diags)
+
+
+def test_tc110_holistic_uncertain_aggregate():
+    udaf = HolisticUDAF("median", lambda values, weights: 0.0)
+    plan = _with_uncertain().aggregate([], [AggSpec("md", udaf, col("ax"))])
+    _, diags = infer_tags(plan, STREAMED)
+    assert "TC110" in _rules_of(diags)
+
+
+def test_tc111_union_with_aggregate_derived_input():
+    inner = _kx().aggregate(["k"], [avg("x", "x"), avg("y", "y")])
+    plan = _kx().union(_kx())  # clean
+    _, diags = infer_tags(plan, STREAMED)
+    assert not diags
+    plan = inner.union(_kx())
+    _, diags = infer_tags(plan, STREAMED)
+    assert "TC111" in _rules_of(diags)
+
+
+def test_clean_plan_has_no_findings(kx_catalog):
+    plan = _with_uncertain().select(col("x") > col("ax")).aggregate(
+        ["k"], [sum_("y", "sy")]
+    )
+    report = check_plan(plan, kx_catalog, "t")
+    assert report.ok, report.format()
+
+
+# ---------------------------------------------------------------------------
+# TC2xx: cross-check against the engine's own analysis.
+# ---------------------------------------------------------------------------
+
+
+def test_tc201_tag_divergence(kx_catalog, monkeypatch):
+    import repro.analysis.typecheck as tc
+
+    real = tc.engine_analyze
+
+    def skewed(plan, streamed):
+        tags = real(plan, streamed)
+        return {
+            node_id: NodeTags(
+                t.tuple_uncertain,
+                t.uncertain_cols | frozenset({"__phantom"}),
+                t.sample_weighted,
+                t.raw_stream,
+            )
+            for node_id, t in tags.items()
+        }
+
+    monkeypatch.setattr(tc, "engine_analyze", skewed)
+    plan = _kx().aggregate(["k"], [sum_("x", "sx")])
+    report = check_plan(plan, kx_catalog, "t")
+    assert "TC201" in report.rule_ids()
+
+
+def test_tc202_engine_rejects_what_typechecker_accepts(kx_catalog, monkeypatch):
+    import repro.analysis.typecheck as tc
+
+    def rejecting(plan, streamed):
+        raise UnsupportedQueryError("engine says no")
+
+    monkeypatch.setattr(tc, "engine_analyze", rejecting)
+    plan = _kx().aggregate(["k"], [sum_("x", "sx")])
+    report = check_plan(plan, kx_catalog, "t")
+    assert "TC202" in report.rule_ids()
+
+
+def test_tc202_typechecker_rejects_what_engine_accepts(kx_catalog, monkeypatch):
+    import repro.analysis.typecheck as tc
+
+    real_infer = tc.infer_tags
+
+    def overstrict(plan, streamed):
+        tags, diags = real_infer(plan, streamed)
+        diags = diags + [
+            tc._diag("TC105", "synthetic", "injected overstrict finding")
+        ]
+        return tags, diags
+
+    monkeypatch.setattr(tc, "infer_tags", overstrict)
+    plan = _kx().aggregate(["k"], [sum_("x", "sx")])
+    report = check_plan(plan, kx_catalog, "t")
+    assert "TC202" in report.rule_ids()
+
+
+# ---------------------------------------------------------------------------
+# TC3xx: compiled-operator checks on hand-broken pipelines/units.
+# ---------------------------------------------------------------------------
+
+
+def test_tc301_misplaced_uncertain_filter():
+    scan_op = ScanOp("t", KX_SCHEMA)
+    op = UncertainFilterOp(scan_op, [], [col("x") > lit(5.0)], node_id=901)
+    assert "TC301" in _rules_of(check_pipeline(op))
+
+
+def test_tc302_deterministic_filter_reads_uncertain():
+    scan_op = ScanOp("t", KX_SCHEMA)
+    scan_op.uncertain_cols.add("x")
+    op = FilterOp(scan_op, col("x") > lit(5.0))
+    assert "TC302" in _rules_of(check_pipeline(op))
+
+
+def test_tc302_det_conjunct_in_uncertain_filter():
+    scan_op = ScanOp("t", KX_SCHEMA)
+    scan_op.uncertain_cols.add("x")
+    op = UncertainFilterOp(
+        scan_op, [col("x") > lit(1.0)], [col("x") > lit(5.0)], node_id=902
+    )
+    assert "TC302" in _rules_of(check_pipeline(op))
+
+
+def test_tc303_stray_state_entry():
+    op = FilterOp(ScanOp("t", KX_SCHEMA), col("x") > lit(5.0))
+    op.state.put("stray", 123)
+    assert "TC303" in _rules_of(check_pipeline(op))
+
+
+def test_tc304_nd_declaration_contradiction():
+    class BadFilter(FilterOp):
+        state_rule = StateRule(frozenset({"nd"}), nd_entry="nd")
+
+    op = BadFilter(ScanOp("t", KX_SCHEMA), col("x") > lit(5.0))
+    op.state.put("nd", {})  # satisfy TC303; the contradiction is TC304
+    assert "TC304" in _rules_of(check_pipeline(op))
+
+
+def test_tc305_aggregate_split_mismatch(kx_catalog):
+    plan = _kx().aggregate(["k"], [sum_("x", "sx")])
+    compiled = compile_online(plan, kx_catalog, "t")
+    agg = next(
+        op
+        for unit in compiled.units
+        if isinstance(unit, StreamPipelineUnit)
+        for op in iter_ops(unit.root_op)
+        if isinstance(op, AggregateOp)
+    )
+    assert not _rules_of(check_pipeline(agg))
+    agg.lazy_specs.append(agg.sketch_specs.pop())  # misclassify 'sx'
+    assert "TC305" in _rules_of(check_pipeline(agg))
+
+
+def test_tc306_uncertain_cols_outside_schema():
+    op = ScanOp("t", KX_SCHEMA)
+    op.uncertain_cols.add("no_such_column")
+    assert "TC306" in _rules_of(check_pipeline(op))
+
+
+def test_tc307_tags_diverge_from_inference():
+    scan_op = ScanOp("t", KX_SCHEMA)
+    scan_op.uncertain_cols.add("x")
+    op = UncertainFilterOp(scan_op, [], [col("x") > lit(5.0)], node_id=907)
+    inferred = {907: NodeTags(True, frozenset({"x", "y"}), True, True)}
+    assert "TC307" in _rules_of(check_pipeline(op, inferred))
+
+
+class _FakeUnit(ExecutionUnit):
+    def __init__(self, label, produces=(), consumes=()):
+        self.label = label
+        self.produces = frozenset(produces)
+        self.consumes = frozenset(consumes)
+
+
+def test_tc308_duplicate_block_producer():
+    units = [_FakeUnit("a", produces={1}), _FakeUnit("b", produces={1})]
+    assert "TC308" in _rules_of(check_units(units))
+
+
+def test_tc309_unproduced_block_consumed():
+    units = [_FakeUnit("a", produces={1}, consumes={2})]
+    assert "TC309" in _rules_of(check_units(units))
+
+
+def test_shared_subplan_compiles_to_single_producer(kx_catalog):
+    """Regression: an agg-of-agg plan reusing a subquery must not emit two
+    units racing to publish the same lineage block (found by TC308)."""
+    per_k = _kx().aggregate(["k"], [count("n")])
+    overall = per_k.aggregate([], [avg("n", "an")])
+    plan = per_k.join(overall, keys=[]).select(col("n") > col("an"))
+    compiled = compile_online(plan, kx_catalog, "t")
+    produced = [b for unit in compiled.units for b in unit.produces]
+    assert len(produced) == len(set(produced))
+    assert not _rules_of(check_units(compiled.units))
+
+
+# ---------------------------------------------------------------------------
+# No dead rules: the fixtures above cover the whole catalog.
+# ---------------------------------------------------------------------------
+
+
+def test_rule_catalog_is_fully_exercised():
+    import ast
+    import pathlib
+
+    source = pathlib.Path(__file__).read_text()
+    tree = ast.parse(source)
+    asserted: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value in TYPECHECK_RULES:
+                asserted.add(node.value)
+    assert asserted >= set(TYPECHECK_RULES), (
+        f"rules without fixtures: {sorted(set(TYPECHECK_RULES) - asserted)}"
+    )

@@ -1,0 +1,189 @@
+"""Every ``UnsupportedQueryError`` rejection path, one test per raise site.
+
+The contract under test: rejected queries fail *at compile time* with a
+message that names the unsupported construct (so the user can rewrite the
+query), and plan-level rejections carry the offending plan node.
+"""
+
+import pytest
+
+from repro.core.compiler import ExecutionUnit, OnlineCompiler, compile_online
+from repro.errors import UnsupportedQueryError
+from repro.relational import (
+    AggSpec,
+    Catalog,
+    HolisticUDAF,
+    avg,
+    col,
+    count,
+    min_,
+    scan,
+    stddev,
+)
+from repro.relational.algebra import PlanNode
+from repro.relational.expressions import Or
+from repro.sql import plan_sql
+from tests.conftest import KX_SCHEMA, random_kx
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return Catalog({"t": random_kx(200, seed=0, groups=4)})
+
+
+def _kx():
+    return scan("t", KX_SCHEMA)
+
+
+def _with_uncertain():
+    """Stream joined with its own aggregate: column ``ax`` is uncertain."""
+    inner = _kx().aggregate([], [avg("x", "ax")])
+    return _kx().join(inner, keys=[])
+
+
+def _compile(plan, catalog):
+    return compile_online(plan, catalog, "t")
+
+
+class Exotic(PlanNode):
+    """A plan node type neither the analyzer nor the compiler knows."""
+
+    def base_tables(self):
+        return {"t"}
+
+
+# -- uncertainty.py: the Section 3.3 supported-class fence ------------------------
+
+
+def test_uncertain_join_key_rejected(catalog):
+    right = _kx().aggregate([], [avg("x", "k2")])
+    plan = _with_uncertain().join(right, keys=[("ax", "k2")])
+    with pytest.raises(UnsupportedQueryError, match="join key 'ax'='k2'") as exc:
+        _compile(plan, catalog)
+    assert exc.value.node is not None
+
+
+def test_stream_stream_join_rejected(catalog):
+    plan = _kx().join(_kx(), keys=[("k", "k")])
+    with pytest.raises(
+        UnsupportedQueryError, match="both join inputs stream"
+    ) as exc:
+        _compile(plan, catalog)
+    assert exc.value.node is not None
+
+
+def test_uncertain_group_by_key_rejected(catalog):
+    plan = _with_uncertain().aggregate(["ax"], [count("n")])
+    with pytest.raises(UnsupportedQueryError, match="group-by key 'ax'") as exc:
+        _compile(plan, catalog)
+    assert exc.value.node is not None
+
+
+def test_non_hadamard_aggregate_rejected(catalog):
+    plan = _kx().aggregate([], [min_("x", "mn")])
+    with pytest.raises(
+        UnsupportedQueryError, match="MIN is not Hadamard"
+    ) as exc:
+        _compile(plan, catalog)
+    assert exc.value.node is not None
+
+
+def test_distinct_over_uncertain_column_rejected(catalog):
+    plan = _with_uncertain().distinct(["ax"])
+    with pytest.raises(
+        UnsupportedQueryError, match="distinct over uncertain column 'ax'"
+    ) as exc:
+        _compile(plan, catalog)
+    assert exc.value.node is not None
+
+
+def test_unknown_node_rejected_by_analyzer(catalog):
+    with pytest.raises(
+        UnsupportedQueryError, match="cannot analyze node Exotic"
+    ) as exc:
+        _compile(Exotic(), catalog)
+    assert type(exc.value.node) is Exotic
+
+
+# -- compiler.py: online-rewrite limitations --------------------------------------
+
+
+def test_unknown_node_rejected_by_compiler(catalog):
+    # The analyzer fences unknown nodes first, so reach the compiler's own
+    # guard directly: a node the tag pass accepted but no handler compiles.
+    compiler = OnlineCompiler(_kx().aggregate([], [avg("x", "ax")]), catalog, "t")
+    exotic = Exotic()
+    with pytest.raises(
+        UnsupportedQueryError, match="cannot compile node Exotic"
+    ) as exc:
+        compiler._compile(exotic)
+    assert exc.value.node is exotic
+
+
+def test_compound_uncertain_predicate_rejected(catalog):
+    plan = _with_uncertain().select(
+        Or(col("x") > col("ax"), col("y") > col("ax"))
+    )
+    with pytest.raises(
+        UnsupportedQueryError, match="simple comparison"
+    ) as exc:
+        _compile(plan, catalog)
+    assert exc.value.node is not None
+
+
+def test_union_of_aggregate_derived_inputs_rejected(catalog):
+    left = _kx().aggregate([], [avg("x", "v")])
+    right = _kx().aggregate([], [avg("y", "v")])
+    with pytest.raises(
+        UnsupportedQueryError, match="UNION between aggregate-derived"
+    ) as exc:
+        _compile(left.union(right), catalog)
+    assert exc.value.node is not None
+
+
+def test_abstract_execution_unit_rejected_at_runtime():
+    class Bare(ExecutionUnit):
+        label = "bare:unit"
+
+    with pytest.raises(
+        UnsupportedQueryError, match="'bare:unit' has no runnable implementation"
+    ):
+        Bare().run(None)
+
+
+# -- operator constructors: shapes the tag pass admits but the engine
+#    cannot maintain incrementally -------------------------------------------------
+
+
+def test_computed_projection_over_uncertain_column_rejected(catalog):
+    plan = _with_uncertain().project(
+        [("z", col("ax") * 2.0), ("k", col("k"))]
+    )
+    with pytest.raises(UnsupportedQueryError, match="'z' computes over uncertain"):
+        _compile(plan, catalog)
+
+
+def test_holistic_udaf_over_uncertain_argument_rejected(catalog):
+    udaf = HolisticUDAF("median", lambda values, weights: 0.0)
+    plan = _with_uncertain().aggregate([], [AggSpec("md", udaf, col("ax"))])
+    with pytest.raises(
+        UnsupportedQueryError, match="holistic UDAF over an .*uncertain argument"
+    ):
+        _compile(plan, catalog)
+
+
+def test_multi_feature_aggregate_over_uncertain_argument_rejected(catalog):
+    plan = _with_uncertain().aggregate([], [stddev("ax", "sd")])
+    with pytest.raises(
+        UnsupportedQueryError, match="requires a single identity feature"
+    ):
+        _compile(plan, catalog)
+
+
+# -- end to end: SQL in, named construct out --------------------------------------
+
+
+def test_sql_query_rejected_with_named_construct(catalog):
+    plan = plan_sql("SELECT MIN(x) AS mn FROM t", catalog.schemas())
+    with pytest.raises(UnsupportedQueryError, match="MIN is not Hadamard"):
+        _compile(plan, catalog)

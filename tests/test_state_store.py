@@ -33,6 +33,25 @@ class TestEstimateNbytes:
         assert estimate_nbytes([1, 2, 3]) > estimate_nbytes([])
         assert estimate_nbytes({1, 2}) > estimate_nbytes(set())
 
+    def test_nested_container_estimates_pinned(self):
+        """Regression: dict estimates must account for the *keys* too (a
+        tuple group key or long string key is real state), and set members
+        get the same 16-byte slot overhead as dict slots. Pinned so the
+        Figure 9(b)/10(c) state-size accounting cannot silently shift."""
+        assert estimate_nbytes("a") == 50  # 49 + len
+        assert estimate_nbytes({"a": 1.0}) == 64 + 16 + 50 + 8
+        assert estimate_nbytes({1, 2}) == 64 + 2 * (16 + 8)
+        assert estimate_nbytes(("k", 1)) == 56 + (8 + 50) + (8 + 8)
+        assert estimate_nbytes([1.0, 2.0]) == 56 + 2 * (8 + 8)
+        inner = {("k", 1): [1.0, 2.0]}
+        assert estimate_nbytes(inner) == 64 + 16 + 130 + 88
+        assert estimate_nbytes({"groups": inner}) == 64 + 16 + (49 + 6) + 298
+
+    def test_dict_keys_are_not_free(self):
+        short = {"k": 1.0}
+        long = {"k" * 100: 1.0}
+        assert estimate_nbytes(long) - estimate_nbytes(short) == 99
+
 
 class TestInMemoryStateStore:
     def test_put_get_delete(self):
