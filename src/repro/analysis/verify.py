@@ -103,6 +103,12 @@ class ContractVerifier:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        #: Structured-warning emitter with the signature of
+        #: ``Tracer.warning(name, batch=None, **args)``. ``RuntimeContext.
+        #: attach_obs`` wires the observability tracer in here, so every
+        #: contract violation also lands on the trace timeline; None keeps
+        #: violations exception-only.
+        self.emit: Any = None
         self._batch_no: int | None = None
         #: (store id, entry key) -> {thread idents that wrote it this batch}.
         self._writers: dict[tuple[int, str], set[int]] = {}
@@ -142,34 +148,45 @@ class ContractVerifier:
     def after_process(self, op: Any, delta: Any, ctx: Any) -> None:
         before = self._input_fps.pop(id(op), None)
         if fingerprint_value(delta) != before:
-            self._violations += 1
-            raise ContractViolationError(
+            raise self._violation(
+                "input-mutated", op.label,
                 f"operator {op.label!r} mutated its input DeltaBatch during "
                 "process(); inputs are shared with sibling operators and "
-                "must be treated as immutable"
+                "must be treated as immutable",
             )
         with self._lock:
             delta_fp = self._delta_fp
         if delta_fp is not None and ctx._delta is not None:
             if fingerprint_value(ctx.delta) != delta_fp:
-                self._violations += 1
-                raise ContractViolationError(
+                raise self._violation(
+                    "delta-mutated", op.label,
                     f"operator {op.label!r} mutated ctx.delta (the installed "
-                    "streamed delta) during process()"
+                    "streamed delta) during process()",
                 )
         self._check_state_entries(op)
 
     # -- internals ---------------------------------------------------------------
 
+    def _violation(self, name: str, label: str, message: str) -> ContractViolationError:
+        """Count, publish (to the trace timeline if wired), and build the
+        error; callers raise the return value."""
+        self._violations += 1
+        if self.emit is not None:
+            self.emit(
+                "contract-violation", batch=self._batch_no,
+                check=name, op=label, message=message,
+            )
+        return ContractViolationError(message)
+
     def _check_state_entries(self, op: Any) -> None:
         declared = set(type(op).state_rule.entries)
         live = {key for key, _ in op.state_items()}
         if live != declared:
-            self._violations += 1
-            raise ContractViolationError(
+            raise self._violation(
+                "undeclared-state", op.label,
                 f"operator {op.label!r} holds state entries {sorted(live)} "
                 f"but its StateRule declares {sorted(declared)}; between-"
-                "batch state may only live in declared named entries"
+                "batch state may only live in declared named entries",
             )
 
     def _observe_store(self, op: Any) -> None:
@@ -196,9 +213,9 @@ class ContractVerifier:
             self._owners[(store_id, key)] = label
             raced = len(writers) > 1
         if raced:
-            self._violations += 1
-            raise ContractViolationError(
+            raise self._violation(
+                "write-race", label,
                 f"state entry {key!r} of operator {label!r} was written by "
                 "two different threads within one batch; store entries must "
-                "have a single writing unit per wave"
+                "have a single writing unit per wave",
             )

@@ -9,6 +9,14 @@ Examples::
     python -m repro.cli --workload tpch --query Q17 --engine hda
     python -m repro.cli --workload tpch --list-queries
 
+Observability: ``--trace-out run.jsonl`` streams the full span/metric
+event log of an iolap run to a JSONL file, ``--converge`` prints a live
+per-group estimate ± CI after every batch, and two subcommands consume
+saved traces::
+
+    python -m repro.cli trace run.jsonl -o trace.json   # open in Perfetto
+    python -m repro.cli report run.jsonl                # offline analysis
+
 The ``analyze`` subcommand runs the static analysis suite instead of
 executing anything: the plan typechecker over named workload queries or
 ad-hoc SQL, and (with ``--lint``) the engine-contract lint over the
@@ -21,11 +29,17 @@ installed ``repro`` sources::
 
 Exit status is 1 if any analysis reported a violation. ``--verify`` (run
 mode) enables the runtime contract checks on top of normal execution.
+
+Output discipline: result rows (and the outputs of the ``trace`` /
+``report`` / ``analyze`` subcommands) go to stdout; progress, warnings
+and errors go through the ``iolap`` logger to stderr (``--log-level``,
+``-q``).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Sequence
 
@@ -45,6 +59,49 @@ _WORKLOADS = {
     "tpch": (generate_tpch, TPCH_QUERIES, "lineorder"),
     "conviva": (generate_conviva, CONVIVA_QUERIES, "sessions"),
 }
+
+log = logging.getLogger("iolap")
+
+
+class _LevelFormatter(logging.Formatter):
+    """Bare messages at INFO and below; a level prefix above."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        if record.levelno > logging.INFO:
+            return f"{record.levelname.lower()}: {message}"
+        return message
+
+
+def _configure_logging(level: str) -> None:
+    """(Re)wire the ``iolap`` logger to the *current* stderr.
+
+    Handlers are rebuilt on every ``main`` call rather than installed
+    once: test harnesses (pytest's capsys) swap ``sys.stderr`` between
+    invocations, and a cached stream would write into a closed buffer.
+    """
+    for handler in list(log.handlers):
+        log.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(_LevelFormatter())
+    log.addHandler(handler)
+    log.setLevel(getattr(logging, level.upper()))
+    log.propagate = False
+
+
+def _add_logging_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"],
+        default="info", help="stderr log verbosity (default: info)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log warnings and errors (alias for --log-level warning)",
+    )
+
+
+def _log_level(args: argparse.Namespace) -> str:
+    return "warning" if args.quiet else args.log_level
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,11 +149,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="write per-batch run metrics as JSON to PATH (iolap engine)",
     )
     parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="stream the observability event log (spans, counters, "
+        "warnings) as JSONL to PATH (iolap engine); convert with the "
+        "'trace' subcommand, analyze with 'report'",
+    )
+    parser.add_argument(
+        "--converge", action="store_true",
+        help="log per-group estimate ± confidence interval after every "
+        "batch (iolap engine)",
+    )
+    parser.add_argument(
         "--verify", action="store_true",
         help="enable runtime contract checks (iolap engine): input "
         "immutability, state-entry discipline, cross-thread write "
         "isolation; results are unchanged",
     )
+    _add_logging_flags(parser)
     return parser
 
 
@@ -129,6 +198,41 @@ def build_analyze_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default=None,
         help="write all reports as a JSON array to PATH (the CI artifact)",
     )
+    _add_logging_flags(parser)
+    return parser
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli trace",
+        description="Validate a saved event log (from --trace-out) and "
+        "convert it for viewers.",
+    )
+    parser.add_argument("trace", help="JSONL event log written by --trace-out")
+    parser.add_argument(
+        "--format", choices=["chrome", "jsonl"], default="chrome",
+        help="output format: 'chrome' trace events (load in Perfetto / "
+        "chrome://tracing) or validated 'jsonl' passthrough (default: chrome)",
+    )
+    parser.add_argument(
+        "-o", "--out", metavar="PATH", default=None,
+        help="output path (default: stdout)",
+    )
+    _add_logging_flags(parser)
+    return parser
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli report",
+        description="Summarize a saved event log: slowest spans, state "
+        "growth, recovery timeline, convergence.",
+    )
+    parser.add_argument("trace", help="JSONL event log written by --trace-out")
+    parser.add_argument(
+        "--top", type=int, default=10, help="individual spans to list (default: 10)"
+    )
+    _add_logging_flags(parser)
     return parser
 
 
@@ -137,6 +241,7 @@ def run_analyze(argv: Sequence[str]) -> int:
     from repro.analysis import analyze_query, check_plan, run_lint
 
     args = build_analyze_parser().parse_args(argv)
+    _configure_logging(_log_level(args))
     reports = []
 
     if args.sql is not None:
@@ -165,8 +270,7 @@ def run_analyze(argv: Sequence[str]) -> int:
                     )
                 )
         if args.query is not None and not reports:
-            print(f"unknown query {args.query!r}; try --list-queries",
-                  file=sys.stderr)
+            log.error("unknown query %r; try --list-queries", args.query)
             return 2
 
     if args.lint:
@@ -186,18 +290,75 @@ def run_analyze(argv: Sequence[str]) -> int:
             with open(args.json, "w") as fh:
                 _json.dump([r.to_dict() for r in reports], fh, indent=2)
         except OSError as exc:
-            print(f"cannot write report to {args.json}: {exc}", file=sys.stderr)
+            log.error("cannot write report to %s: %s", args.json, exc)
             return 2
-        print(f"report written to {args.json}")
+        log.info("report written to %s", args.json)
     return 1 if failed else 0
+
+
+def run_trace(argv: Sequence[str]) -> int:
+    """The ``trace`` subcommand: validate + convert a saved event log."""
+    import json as _json
+
+    from repro.obs import read_events, write_chrome
+
+    args = build_trace_parser().parse_args(argv)
+    _configure_logging(_log_level(args))
+    try:
+        events = list(read_events(args.trace))
+    except (OSError, ValueError) as exc:
+        log.error("cannot read trace %s: %s", args.trace, exc)
+        return 2
+    try:
+        if args.out is not None:
+            with open(args.out, "w") as fh:
+                if args.format == "chrome":
+                    count = write_chrome(events, fh)
+                else:
+                    for event in events:
+                        fh.write(_json.dumps(event) + "\n")
+                    count = len(events)
+        else:
+            if args.format == "chrome":
+                count = write_chrome(events, sys.stdout)
+            else:
+                for event in events:
+                    print(_json.dumps(event))
+                count = len(events)
+    except OSError as exc:
+        log.error("cannot write %s: %s", args.out, exc)
+        return 2
+    target = args.out if args.out is not None else "stdout"
+    log.info("%d event(s) validated; %d %s record(s) written to %s",
+             len(events), count, args.format, target)
+    return 0
+
+
+def run_report(argv: Sequence[str]) -> int:
+    """The ``report`` subcommand: offline analysis of a saved event log."""
+    from repro.obs.report import TraceSummary, render_report
+
+    args = build_report_parser().parse_args(argv)
+    _configure_logging(_log_level(args))
+    try:
+        summary = TraceSummary.from_file(args.trace)
+    except (OSError, ValueError) as exc:
+        log.error("cannot read trace %s: %s", args.trace, exc)
+        return 2
+    print(render_report(summary, top=args.top))
+    return 0
+
+
+_SUBCOMMANDS = {"analyze": run_analyze, "trace": run_trace, "report": run_report}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "analyze":
-        return run_analyze(argv[1:])
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _SUBCOMMANDS[argv[0]](argv[1:])
     args = build_parser().parse_args(argv)
+    _configure_logging(_log_level(args))
     generate, queries, default_stream = _WORKLOADS[args.workload]
 
     if args.list_queries:
@@ -211,7 +372,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.query:
         if args.query not in queries:
-            print(f"unknown query {args.query!r}; try --list-queries", file=sys.stderr)
+            log.error("unknown query %r; try --list-queries", args.query)
             return 2
         spec = queries[args.query]
         plan = spec.plan
@@ -220,22 +381,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         try:
             plan = plan_sql(args.sql, catalog.schemas())
         except ReproError as exc:
-            print(f"SQL error: {exc}", file=sys.stderr)
+            log.error("SQL error: %s", exc)
             return 2
         streamed = args.stream or default_stream
     else:
-        print("nothing to run: pass SQL text or --query/--list-queries",
-              file=sys.stderr)
+        log.error("nothing to run: pass SQL text or --query/--list-queries")
         return 2
 
-    if args.metrics_out and args.engine != "iolap":
-        print("--metrics-out requires --engine iolap", file=sys.stderr)
-        return 2
+    for flag, value in (("--metrics-out", args.metrics_out),
+                        ("--trace-out", args.trace_out),
+                        ("--converge", args.converge)):
+        if value and args.engine != "iolap":
+            log.error("%s requires --engine iolap", flag)
+            return 2
 
     if args.engine == "batch":
         result = run_batch(plan, catalog)
-        print(f"batch engine: {result.wall_seconds*1000:.1f} ms, "
-              f"{len(result.relation)} rows")
+        log.info("batch engine: %.1f ms, %d rows",
+                 result.wall_seconds * 1000, len(result.relation))
         _print_relation_rows(result.relation, args.max_rows)
         return 0
 
@@ -243,12 +406,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         executor = HDAExecutor(catalog, streamed, seed=args.seed)
         for partial in executor.run(plan, args.batches):
             marker = "exact" if partial.is_final else "approx"
-            print(f"[batch {partial.batch_no:>3}/{partial.num_batches} "
-                  f"{partial.metrics.wall_seconds*1000:7.1f} ms  {marker}] "
-                  f"{len(partial.relation)} rows")
+            log.info("[batch %3d/%d %7.1f ms  %s] %d rows",
+                     partial.batch_no, partial.num_batches,
+                     partial.metrics.wall_seconds * 1000, marker,
+                     len(partial.relation))
         _print_relation_rows(partial.relation, args.max_rows)
         return 0
 
+    from repro.obs import NULL_OBS, ConvergenceReporter, Observability
+
+    obs = Observability.to_jsonl(args.trace_out) if args.trace_out else NULL_OBS
+    reporter = (
+        ConvergenceReporter(obs=obs, emit_line=log.info)
+        if args.converge
+        else None
+    )
     engine = OnlineQueryEngine(
         catalog,
         streamed,
@@ -259,31 +431,39 @@ def main(argv: Sequence[str] | None = None) -> int:
             verify=args.verify,
         ),
         executor=args.executor,
+        obs=obs,
     )
     partial = None
-    for partial in engine.run(plan, args.batches):
-        rsd = partial.max_relative_stdev()
-        rsd_text = "exact" if partial.is_final else (
-            f"rel.stdev {rsd:.4f}" if rsd == rsd else "rel.stdev n/a"
-        )
-        print(
-            f"[batch {partial.batch_no:>3}/{partial.num_batches} "
-            f"{partial.fraction_processed:>4.0%} "
-            f"{partial.metrics.wall_seconds*1000:7.1f} ms  {rsd_text}]"
-        )
-        if args.stop_rsd is not None and rsd == rsd and rsd < args.stop_rsd:
-            print(f"stopping early: accuracy target {args.stop_rsd} reached")
-            break
-    engine.executor.close()
+    try:
+        for partial in engine.run(plan, args.batches):
+            rsd = partial.max_relative_stdev()
+            rsd_text = "exact" if partial.is_final else (
+                f"rel.stdev {rsd:.4f}" if rsd == rsd else "rel.stdev n/a"
+            )
+            log.info(
+                "[batch %3d/%d %4.0f%% %7.1f ms  %s]",
+                partial.batch_no, partial.num_batches,
+                partial.fraction_processed * 100,
+                partial.metrics.wall_seconds * 1000, rsd_text,
+            )
+            if reporter is not None:
+                reporter.update(partial)
+            if args.stop_rsd is not None and rsd == rsd and rsd < args.stop_rsd:
+                log.info("stopping early: accuracy target %s reached",
+                         args.stop_rsd)
+                break
+    finally:
+        engine.executor.close()
+        obs.close()
     if partial is not None:
         _print_partial_rows(partial, args.max_rows)
         if engine.metrics.num_recoveries:
-            print(f"(failure recoveries: {engine.metrics.num_recoveries})")
+            log.info("(failure recoveries: %d)", engine.metrics.num_recoveries)
         slowest = sorted(
             engine.metrics.total_op_seconds().items(), key=lambda kv: -kv[1]
         )[:3]
         if slowest:
-            print("slowest operators: " + ", ".join(
+            log.info("slowest operators: %s", ", ".join(
                 f"{label} {seconds*1000:.1f} ms" for label, seconds in slowest
             ))
     if args.metrics_out:
@@ -291,10 +471,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             with open(args.metrics_out, "w") as fh:
                 fh.write(engine.metrics.to_json(indent=2))
         except OSError as exc:
-            print(f"cannot write metrics to {args.metrics_out}: {exc}",
-                  file=sys.stderr)
+            log.error("cannot write metrics to %s: %s", args.metrics_out, exc)
             return 2
-        print(f"metrics written to {args.metrics_out}")
+        log.info("metrics written to %s", args.metrics_out)
+    if args.trace_out:
+        log.info("trace written to %s (convert: repro.cli trace %s; "
+                 "summarize: repro.cli report %s)",
+                 args.trace_out, args.trace_out, args.trace_out)
     return 0
 
 

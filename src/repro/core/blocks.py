@@ -30,6 +30,7 @@ from repro.core.ranges import RangeMonitor
 from repro.core.values import LineageRef, UncertainValue
 from repro.errors import ReproError
 from repro.metrics.stats import BatchMetrics
+from repro.obs.session import NULL_OBS
 from repro.relational.catalog import Catalog
 from repro.relational.relation import Relation
 from repro.state import StateRegistry
@@ -176,6 +177,16 @@ class RuntimeContext:
             from repro.analysis.verify import ContractVerifier
 
             self.verifier = ContractVerifier()
+        #: Observability session (tracer + metrics registry + event bus).
+        #: The inert NULL_OBS by default; the engine attaches a real one.
+        self.obs = NULL_OBS
+
+    def attach_obs(self, obs) -> None:
+        """Install an observability session (and wire the verifier's
+        warning emitter into its trace timeline)."""
+        self.obs = obs
+        if self.verifier is not None and obs.enabled:
+            self.verifier.emit = obs.tracer.warning
 
     # -- metrics routing -----------------------------------------------------------
 
@@ -208,13 +219,27 @@ class RuntimeContext:
         """Install this batch's streamed delta (tagging bootstrap trials)."""
         self.batch_no = batch_no
         self.metrics = metrics
-        trials = trial_multiplicities(
-            len(delta),
-            self.config.num_trials,
-            self.config.seed,
-            self.streamed_table,
-            batch_no,
-        )
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "bootstrap", cat="bootstrap", batch=batch_no,
+                rows=len(delta), trials=self.config.num_trials,
+            ):
+                trials = trial_multiplicities(
+                    len(delta),
+                    self.config.num_trials,
+                    self.config.seed,
+                    self.streamed_table,
+                    batch_no,
+                )
+        else:
+            trials = trial_multiplicities(
+                len(delta),
+                self.config.num_trials,
+                self.config.seed,
+                self.streamed_table,
+                batch_no,
+            )
         self._delta = delta.with_mult(delta.mult, trials)
         self.seen_rows += len(delta)
         metrics.new_tuples += len(delta)

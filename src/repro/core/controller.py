@@ -30,8 +30,9 @@ from repro.core.compiler import CompiledQuery, compile_online
 from repro.core.result import PartialResult
 from repro.core.values import UncertainValue
 from repro.engine.executor import BatchExecutor, make_executor
-from repro.errors import RangeIntegrityError, ReproError
+from repro.errors import RangeIntegrityError, ReproError, UnsupportedQueryError
 from repro.metrics.stats import BatchMetrics, RunMetrics
+from repro.obs.session import NULL_OBS
 from repro.relational.algebra import PlanNode
 from repro.relational.catalog import Catalog
 from repro.relational.relation import Relation
@@ -50,12 +51,16 @@ class OnlineQueryEngine:
         config: OnlineConfig | None = None,
         partition_mode: str = "shuffle",
         executor: str | BatchExecutor = "serial",
+        obs=None,
     ):
         self.catalog = catalog
         self.streamed_table = streamed_table
         self.config = config if config is not None else OnlineConfig()
         self.partitioner = Partitioner(mode=partition_mode, seed=self.config.seed)
         self.executor = make_executor(executor)
+        #: Observability session (tracing + metrics registry); the inert
+        #: NULL_OBS unless the caller wants a trace.
+        self.obs = obs if obs is not None else NULL_OBS
         #: Metrics of the most recent (or in-progress) run.
         self.metrics = RunMetrics()
 
@@ -73,10 +78,25 @@ class OnlineQueryEngine:
             num_batches = num_batches_for(len(streamed), batch_rows)
         batches = self.partitioner.partition(streamed, num_batches)
 
-        compiled = compile_online(plan, self.catalog, self.streamed_table)
+        obs = self.obs
+        tracer = obs.tracer
+        try:
+            compiled = compile_online(plan, self.catalog, self.streamed_table)
+        except UnsupportedQueryError as exc:
+            # Rejections belong on the trace timeline, not only in the
+            # raised exception: a saved trace should show *why* a run
+            # produced no batches.
+            tracer.warning(
+                "unsupported-query",
+                message=str(exc),
+                node=type(exc.node).__name__ if exc.node is not None else None,
+            )
+            obs.flush()
+            raise
         ctx = RuntimeContext(
             self.catalog, self.streamed_table, len(streamed), self.config
         )
+        ctx.attach_obs(obs)
         self.metrics = RunMetrics()
 
         compiled.open(ctx)
@@ -84,15 +104,44 @@ class OnlineQueryEngine:
         # store to this point before replaying.
         baseline = ctx.stores.checkpoint()
 
+        run_span = tracer.span(
+            "run", cat="run",
+            streamed_table=self.streamed_table,
+            num_batches=len(batches),
+            total_rows=len(streamed),
+            executor=self.executor.name,
+        ) if tracer.enabled else None
+        if run_span:
+            run_span.__enter__()
         try:
             for i, delta in enumerate(batches, start=1):
                 bm = self.metrics.start_batch(i)
                 started = time.perf_counter()
-                self._process_batch(compiled, ctx, batches, i, delta, bm, baseline)
+                if tracer.enabled:
+                    with tracer.span(
+                        "batch", cat="exec", batch=i, rows=len(delta)
+                    ) as batch_span:
+                        self._process_batch(
+                            compiled, ctx, batches, i, delta, bm, baseline
+                        )
+                        batch_span.set(
+                            recovered=bm.recovered,
+                            recomputed_tuples=bm.recomputed_tuples,
+                        )
+                else:
+                    self._process_batch(
+                        compiled, ctx, batches, i, delta, bm, baseline
+                    )
                 bm.wall_seconds = time.perf_counter() - started
+                if obs.enabled:
+                    self._sample_metrics(ctx, bm, i)
+                    obs.flush()
                 yield self._make_result(compiled, ctx, i, len(batches), bm)
         finally:
+            if run_span:
+                run_span.__exit__(None, None, None)
             compiled.close()
+            obs.flush()
 
     def run_to_completion(
         self,
@@ -129,6 +178,7 @@ class OnlineQueryEngine:
             except RangeIntegrityError as failure:
                 bm.recovered = True
                 attempts += 1
+                self.obs.metrics.counter("recovery.failures").inc()
                 if attempts > _MAX_RECOVERIES:
                     if not ctx.monitor.enabled:
                         # A conservative replay cannot record sentinels, so
@@ -140,6 +190,11 @@ class OnlineQueryEngine:
                     # replay and re-run this batch one more time.
                     ctx.monitor.enabled = False
                     self.metrics.pruning_disabled = True
+                    self.obs.tracer.warning(
+                        "pruning-disabled", batch=batch_no,
+                        message="recovery budget exhausted; finishing the "
+                        "run in conservative (no-pruning) mode",
+                    )
                 self._replay(
                     compiled,
                     ctx,
@@ -171,6 +226,17 @@ class OnlineQueryEngine:
         recorded from the *current* estimates and therefore cannot flip
         within the same batch, guaranteeing recovery terminates.
         """
+        obs = ctx.obs
+        tracer = obs.tracer
+        replayed = failed_batch - 1
+        obs.metrics.counter("recovery.replays").inc()
+        obs.metrics.histogram("recovery.depth").observe(replayed)
+        span = tracer.span(
+            "recovery-replay", cat="recovery", batch=failed_batch,
+            replayed_batches=replayed, recover_from=recover_from,
+        ) if tracer.enabled else None
+        if span:
+            span.__enter__()
         started = time.perf_counter()
         ctx.monitor.replaying = True
         ctx.monitor.reset()
@@ -185,7 +251,23 @@ class OnlineQueryEngine:
         finally:
             ctx.metrics = saved
             ctx.monitor.replaying = False
+            if span:
+                span.__exit__(None, None, None)
         bm.recovery_seconds += time.perf_counter() - started
+
+    def _sample_metrics(self, ctx: RuntimeContext, bm: BatchMetrics, batch_no: int) -> None:
+        """Per-batch sampling of engine-level gauges + the full registry.
+
+        Runs on the controller thread between batches, so the snapshot is
+        a consistent cut: every unit of batch ``batch_no`` has merged.
+        """
+        reg = ctx.obs.metrics
+        reg.gauge("state.total_bytes").set(ctx.stores.total_bytes())
+        reg.gauge("engine.seen_rows").set(ctx.seen_rows)
+        reg.gauge("engine.range_failures").set(ctx.monitor.failures)
+        reg.counter("engine.recomputed_tuples").inc(bm.recomputed_tuples)
+        reg.counter("engine.shipped_bytes").inc(bm.shipped_bytes)
+        ctx.obs.emit_metrics(batch=batch_no)
 
     def _make_result(
         self,

@@ -252,6 +252,12 @@ class AggregateOp(SpineOp):
     ) -> None:
         value_cols = [s.name for s in self.specs]
         output = BlockOutput(self.block_id, self.group_by, value_cols)
+        obs_on = ctx.obs.enabled
+        width_hist = (
+            ctx.obs.metrics.histogram("range.width", block=str(self.block_id))
+            if obs_on
+            else None
+        )
         for key, raw in per_group.items():
             values: dict[str, object] = {}
             for gi, col_name in enumerate(self.group_by):
@@ -261,6 +267,8 @@ class AggregateOp(SpineOp):
                 vrange = ctx.monitor.observe(
                     (self.block_id, key, spec.name), ctx.batch_no, float(point), trials
                 )
+                if width_hist is not None and vrange is not None:
+                    width_hist.observe(vrange.width)
                 values[spec.name] = UncertainValue(
                     float(point),
                     trials,
@@ -301,4 +309,8 @@ class AggregateOp(SpineOp):
                 )
                 self._tombstones[key] = tomb
             output.groups[key] = tomb
+        if obs_on:
+            ctx.obs.metrics.gauge("block.groups", op=self.label).set(
+                len(output.groups)
+            )
         ctx.blocks[self.block_id] = output

@@ -182,8 +182,26 @@ class SpineOp:
         nbytes = self.state.estimated_bytes()
         if nbytes:
             ctx.metrics.add_state(self.label, nbytes)
+        if ctx.obs.enabled:
+            self._record_state_metrics(ctx)
         for child in self.children:
             child.record_state(ctx)
+
+    def _record_state_metrics(self, ctx: RuntimeContext) -> None:
+        """Per-entry state gauges: bytes per named store entry, split into
+        the pruned (ND cache) vs resolved shares of the §4.2 contract."""
+        reg = ctx.obs.metrics
+        nd_entry = self.state_rule.nd_entry
+        nd_bytes = resolved_bytes = 0
+        for name, nbytes in self.state.entry_bytes().items():
+            reg.gauge("state.entry.bytes", op=self.label, entry=name).set(nbytes)
+            if name == nd_entry:
+                nd_bytes += nbytes
+            else:
+                resolved_bytes += nbytes
+        reg.gauge("state.nd_bytes", op=self.label).set(nd_bytes)
+        reg.gauge("state.resolved_bytes", op=self.label).set(resolved_bytes)
+        reg.gauge("state.writes", op=self.label).set(self.state.writes)
 
     # -- conveniences ------------------------------------------------------------
 
@@ -212,12 +230,36 @@ def drive_pipeline(root: SpineOp, ctx: RuntimeContext) -> DeltaBatch:
     verifier = ctx.verifier
     if verifier is not None:
         verifier.before_process(root, delta, ctx)
-    started = time.perf_counter()
-    out = root.process(delta, ctx)
-    ctx.metrics.add_op_seconds(root.label, time.perf_counter() - started)
+    tracer = ctx.obs.tracer
+    if tracer.enabled:
+        with tracer.span(
+            "op", cat="op", batch=ctx.batch_no,
+            op=root.label, kind=type(root).__name__,
+        ) as span:
+            started = time.perf_counter()
+            out = root.process(delta, ctx)
+            ctx.metrics.add_op_seconds(root.label, time.perf_counter() - started)
+            rows_in = _delta_rows(delta)
+            span.set(rows_in=rows_in, rows_out=out.total_rows)
+            reg = ctx.obs.metrics
+            reg.counter("op.rows_in", op=root.label).inc(rows_in)
+            reg.counter("op.rows_out", op=root.label).inc(out.total_rows)
+    else:
+        started = time.perf_counter()
+        out = root.process(delta, ctx)
+        ctx.metrics.add_op_seconds(root.label, time.perf_counter() - started)
     if verifier is not None:
         verifier.after_process(root, delta, ctx)
     return out
+
+
+def _delta_rows(delta: object) -> int:
+    """Total input rows of a ``process`` call (any arity)."""
+    if delta is None:
+        return 0
+    if isinstance(delta, DeltaBatch):
+        return delta.total_rows
+    return sum(d.total_rows for d in delta)
 
 
 def iter_ops(root: SpineOp) -> Iterator[SpineOp]:

@@ -213,4 +213,9 @@ class UncertainFilterOp(SpineOp):
         volatile = self.empty(ctx)
         for part in volatile_parts:
             volatile = volatile.concat(part)
+        if ctx.obs.enabled:
+            reg = ctx.obs.metrics
+            nd = self.nd_store
+            reg.gauge("nd.rows", op=self.label).set(0 if nd is None else len(nd))
+            reg.gauge("sentinels", op=self.label).set(len(self.sentinels))
         return DeltaBatch(certain, volatile)

@@ -297,4 +297,12 @@ class UncertainJoinOp(SpineOp):
             # whatever their current membership allows.
             volatile = volatile.concat(v_certain)
             volatile = volatile.concat(self._volatile_of(v_nd, ctx))
+        if ctx.obs.enabled:
+            reg = ctx.obs.metrics
+            nd, pending = self.nd_store, self.pending
+            reg.gauge("nd.rows", op=self.label).set(0 if nd is None else len(nd))
+            reg.gauge("pending.rows", op=self.label).set(
+                0 if pending is None else len(pending)
+            )
+            reg.gauge("sentinels", op=self.label).set(len(self.member_sentinels))
         return DeltaBatch(certain_new, volatile)

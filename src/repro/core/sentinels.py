@@ -125,6 +125,23 @@ class SentinelStore:
 
     def check(self, ctx: RuntimeContext) -> None:
         """Re-evaluate all tightest sentinels against current estimates."""
+        tracer = ctx.obs.tracer
+        if not tracer.enabled:
+            self._check(ctx)
+            return
+        with tracer.span(
+            "range-check", cat="range", batch=ctx.batch_no, sentinels=len(self)
+        ):
+            try:
+                self._check(ctx)
+            except RangeIntegrityError as failure:
+                tracer.warning(
+                    "range-integrity-failure", batch=ctx.batch_no,
+                    message=str(failure),
+                )
+                raise
+
+    def _check(self, ctx: RuntimeContext) -> None:
         for idx, store in enumerate(self._per_conjunct):
             if not store.ref_rows:
                 continue
@@ -212,6 +229,23 @@ class MembershipSentinels:
         self.expected.setdefault(key, member)
 
     def check(self, ctx: RuntimeContext, view) -> None:
+        tracer = ctx.obs.tracer
+        if not tracer.enabled:
+            self._check(ctx, view)
+            return
+        with tracer.span(
+            "range-check", cat="range", batch=ctx.batch_no, sentinels=len(self)
+        ):
+            try:
+                self._check(ctx, view)
+            except RangeIntegrityError as failure:
+                tracer.warning(
+                    "range-integrity-failure", batch=ctx.batch_no,
+                    message=str(failure),
+                )
+                raise
+
+    def _check(self, ctx: RuntimeContext, view) -> None:
         for key, expected in self.expected.items():
             group = view.get(key) if view is not None else None
             actual = group is not None and group.member_point

@@ -25,6 +25,7 @@ from typing import Sequence
 from repro.core.blocks import RuntimeContext
 from repro.core.compiler import ExecutionUnit
 from repro.metrics.stats import BatchMetrics
+from repro.obs.tracer import TraceBuffer
 
 
 class BatchExecutor:
@@ -47,10 +48,19 @@ class SerialExecutor(BatchExecutor):
     def execute(self, units: Sequence[ExecutionUnit], ctx: RuntimeContext) -> None:
         if ctx.verifier is not None:
             ctx.verifier.begin_batch(ctx.batch_no)
+        tracer = ctx.obs.tracer
         for unit in units:
             started = time.perf_counter()
-            unit.run(ctx)
-            ctx.metrics.add_op_seconds(unit.label, time.perf_counter() - started)
+            if tracer.enabled:
+                with tracer.span(
+                    "unit", cat="exec", batch=ctx.batch_no, unit=unit.label
+                ):
+                    unit.run(ctx)
+            else:
+                unit.run(ctx)
+            elapsed = time.perf_counter() - started
+            ctx.metrics.add_op_seconds(unit.label, elapsed)
+            ctx.metrics.unit_seconds += elapsed
 
 
 def dependency_waves(units: Sequence[ExecutionUnit]) -> list[list[int]]:
@@ -112,32 +122,52 @@ class ParallelExecutor(BatchExecutor):
         if ctx.verifier is not None:
             ctx.verifier.begin_batch(ctx.batch_no)
         pool = self._ensure_pool()
+        tracer = ctx.obs.tracer
         scratches: list[tuple[int, BatchMetrics]] = []
+        #: Per-unit trace scratch, merged in unit-index order below — the
+        #: same determinism discipline as the metrics scratches.
+        buffers: list[tuple[int, TraceBuffer]] = []
         failures: list[tuple[int, BaseException]] = []
-        for wave in dependency_waves(units):
-            if len(wave) == 1:
-                i = wave[0]
-                scratch = BatchMetrics(ctx.batch_no)
-                scratches.append((i, scratch))
-                err = _run_unit(units[i], ctx, scratch)
-                if err is not None:
-                    failures.append((i, err))
-            else:
-                futures = []
-                for i in wave:
+        for wave_no, wave in enumerate(dependency_waves(units)):
+            wave_span = tracer.span(
+                "wave", cat="exec", batch=ctx.batch_no,
+                wave=wave_no, units=len(wave),
+            ) if tracer.enabled else None
+            if wave_span:
+                wave_span.__enter__()
+            try:
+                if len(wave) == 1:
+                    i = wave[0]
                     scratch = BatchMetrics(ctx.batch_no)
                     scratches.append((i, scratch))
-                    futures.append(
-                        (i, pool.submit(_run_unit, units[i], ctx, scratch))
-                    )
-                for i, future in futures:
-                    err = future.result()
+                    buffer = _unit_buffer(tracer, units[i], buffers, i)
+                    err = _run_unit(units[i], ctx, scratch, buffer)
                     if err is not None:
                         failures.append((i, err))
+                else:
+                    futures = []
+                    for i in wave:
+                        scratch = BatchMetrics(ctx.batch_no)
+                        scratches.append((i, scratch))
+                        buffer = _unit_buffer(tracer, units[i], buffers, i)
+                        futures.append(
+                            (i, pool.submit(_run_unit, units[i], ctx, scratch, buffer))
+                        )
+                    for i, future in futures:
+                        err = future.result()
+                        if err is not None:
+                            failures.append((i, err))
+            finally:
+                if wave_span:
+                    wave_span.__exit__(None, None, None)
             if failures:
                 break
         for _, scratch in sorted(scratches, key=lambda pair: pair[0]):
             ctx.metrics.merge_from(scratch)
+        if buffers:
+            tracer.merge(
+                buf for _, buf in sorted(buffers, key=lambda pair: pair[0])
+            )
         if failures:
             # Deterministic failure choice: the lowest unit index, i.e.
             # the one the serial executor would have hit first.
@@ -149,20 +179,46 @@ class ParallelExecutor(BatchExecutor):
             self._pool = None
 
 
+def _unit_buffer(
+    tracer, unit: ExecutionUnit, buffers: list[tuple[int, TraceBuffer]], index: int
+) -> TraceBuffer | None:
+    """Allocate (and register) a per-unit trace scratch, if tracing."""
+    if not tracer.enabled:
+        return None
+    buffer = TraceBuffer(track=f"unit:{unit.label}")
+    buffers.append((index, buffer))
+    return buffer
+
+
 def _run_unit(
-    unit: ExecutionUnit, ctx: RuntimeContext, scratch: BatchMetrics
+    unit: ExecutionUnit,
+    ctx: RuntimeContext,
+    scratch: BatchMetrics,
+    buffer: TraceBuffer | None = None,
 ) -> BaseException | None:
-    """Run one unit with thread-local scratch metrics; report, don't raise
-    (the scheduler decides deterministically which failure wins)."""
+    """Run one unit with thread-local scratch metrics (and, when tracing,
+    a thread-local scratch trace buffer); report, don't raise (the
+    scheduler decides deterministically which failure wins)."""
+    tracer = ctx.obs.tracer
     ctx.push_metrics(scratch)
+    if buffer is not None:
+        tracer.push_buffer(buffer)
     started = time.perf_counter()
     try:
-        unit.run(ctx)
+        if buffer is not None:
+            with tracer.span("unit", cat="exec", batch=ctx.batch_no, unit=unit.label):
+                unit.run(ctx)
+        else:
+            unit.run(ctx)
         return None
     except BaseException as err:  # noqa: BLE001 — forwarded to the scheduler
         return err
     finally:
-        scratch.add_op_seconds(unit.label, time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        scratch.add_op_seconds(unit.label, elapsed)
+        scratch.unit_seconds += elapsed
+        if buffer is not None:
+            tracer.pop_buffer()
         ctx.pop_metrics()
 
 

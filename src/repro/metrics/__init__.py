@@ -1,5 +1,16 @@
 """Execution instrumentation backing the benchmark harness."""
 
+from repro.metrics.schema import (
+    RUN_METRICS_SCHEMA_VERSION,
+    validate_batch_metrics,
+    validate_run_metrics,
+)
 from repro.metrics.stats import BatchMetrics, RunMetrics
 
-__all__ = ["BatchMetrics", "RunMetrics"]
+__all__ = [
+    "BatchMetrics",
+    "RunMetrics",
+    "RUN_METRICS_SCHEMA_VERSION",
+    "validate_batch_metrics",
+    "validate_run_metrics",
+]

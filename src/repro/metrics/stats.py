@@ -18,8 +18,15 @@ class BatchMetrics:
     """Counters for one mini-batch iteration."""
 
     batch_no: int
-    #: Wall-clock seconds spent processing the batch (incl. bootstrap).
+    #: True elapsed wall-clock seconds of the batch (incl. bootstrap).
+    #: Owned by the controller, which stamps it once per batch; executors
+    #: never write it, so parallel unit times cannot inflate it.
     wall_seconds: float = 0.0
+    #: Sum of per-execution-unit elapsed seconds (the CPU-occupancy view).
+    #: Under the serial executor this is ~``wall_seconds`` minus engine
+    #: overhead; under the parallel executor concurrent units overlap, so
+    #: ``wall_seconds <= unit_seconds`` on a multi-unit batch.
+    unit_seconds: float = 0.0
     #: Rows newly ingested from the streamed table this batch.
     new_tuples: int = 0
     #: Rows recomputed: ND-set re-evaluations, row-store re-aggregation,
@@ -49,8 +56,13 @@ class BatchMetrics:
         ``BatchMetrics`` and merges them in unit order once the batch
         completes, so concurrent units never contend on shared counters
         and the merged totals are deterministic.
+
+        ``wall_seconds`` is deliberately *not* merged: summing concurrent
+        units' elapsed time would inflate it past the true batch latency.
+        Per-unit time folds into ``unit_seconds`` instead; the controller
+        stamps ``wall_seconds`` with the real batch elapsed time.
         """
-        self.wall_seconds += other.wall_seconds
+        self.unit_seconds += other.unit_seconds
         self.new_tuples += other.new_tuples
         self.recomputed_tuples += other.recomputed_tuples
         self.shipped_bytes += other.shipped_bytes
@@ -72,6 +84,7 @@ class BatchMetrics:
         return {
             "batch_no": self.batch_no,
             "wall_seconds": self.wall_seconds,
+            "unit_seconds": self.unit_seconds,
             "new_tuples": self.new_tuples,
             "recomputed_tuples": self.recomputed_tuples,
             "shipped_bytes": self.shipped_bytes,
@@ -107,6 +120,12 @@ class RunMetrics:
         return sum(b.wall_seconds for b in self.batches)
 
     @property
+    def total_unit_seconds(self) -> float:
+        """Summed per-unit elapsed time (CPU-occupancy view; exceeds
+        ``total_seconds`` when the parallel executor overlaps units)."""
+        return sum(b.unit_seconds for b in self.batches)
+
+    @property
     def total_recomputed(self) -> int:
         return sum(b.recomputed_tuples for b in self.batches)
 
@@ -136,9 +155,13 @@ class RunMetrics:
         return totals
 
     def to_dict(self) -> dict:
+        from repro.metrics.schema import RUN_METRICS_SCHEMA_VERSION
+
         return {
+            "schema_version": RUN_METRICS_SCHEMA_VERSION,
             "num_batches": len(self.batches),
             "total_seconds": self.total_seconds,
+            "total_unit_seconds": self.total_unit_seconds,
             "total_recomputed": self.total_recomputed,
             "total_shipped_bytes": self.total_shipped_bytes,
             "num_recoveries": self.num_recoveries,

@@ -1,0 +1,111 @@
+"""Live convergence reporting: estimate ± CI per group, every batch.
+
+Online aggregation is only as useful as the convergence the user can
+*see* (the paper's Fig. 7(a); DeepOLA makes the same point): after every
+mini-batch the reporter renders, per result group and aggregate column,
+the current point estimate, its bootstrap confidence interval, and the
+relative standard deviation — and emits the same numbers as
+``convergence`` events so a saved trace replays the full curve
+(``iolap report`` summarizes it; Perfetto shows the instants inline).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.session import NULL_OBS
+
+
+class ConvergenceReporter:
+    """Tracks and renders per-group estimate ± CI across batches."""
+
+    def __init__(
+        self,
+        obs: Any = NULL_OBS,
+        emit_line: Callable[[str], None] | None = None,
+        level: float = 0.95,
+        max_groups: int = 8,
+    ):
+        self.obs = obs
+        self.emit_line = emit_line
+        self.level = level
+        self.max_groups = max_groups
+        #: (group label, column) -> list of (batch, estimate, lo, hi, rsd).
+        self.history: dict[tuple[str, str], list[tuple]] = {}
+
+    def update(self, partial: Any) -> list[str]:
+        """Fold one :class:`~repro.core.result.PartialResult` in; returns
+        the rendered lines (and emits them through ``emit_line``)."""
+        from repro.core.values import UncertainValue
+
+        tracer = self.obs.tracer
+        lines: list[str] = []
+        shown = 0
+        total = 0
+        for row in partial.rows:
+            group = _group_label(row)
+            for name, value in row.items():
+                if not isinstance(value, UncertainValue):
+                    continue
+                total += 1
+                estimate = value.value
+                lo, hi = value.confidence_interval(self.level)
+                rsd = value.relative_stdev()
+                self.history.setdefault((group, name), []).append(
+                    (partial.batch_no, estimate, lo, hi, rsd)
+                )
+                tracer.convergence(
+                    name,
+                    batch=partial.batch_no,
+                    group=group,
+                    estimate=estimate,
+                    ci_lo=lo,
+                    ci_hi=hi,
+                    rsd=rsd,
+                    fraction=partial.fraction_processed,
+                )
+                if shown < self.max_groups:
+                    lines.append(
+                        f"  {group or 'all':>12}  {name} = {estimate:,.4g} "
+                        f"± {max(estimate - lo, hi - estimate):,.3g} "
+                        f"[{lo:,.4g}, {hi:,.4g}]  rsd {_fmt_rsd(rsd)}"
+                    )
+                    shown += 1
+        hidden = total - shown
+        if lines and self.emit_line is not None:
+            header = (
+                f"convergence @ batch {partial.batch_no}/{partial.num_batches} "
+                f"({partial.fraction_processed:.0%} of stream)"
+            )
+            self.emit_line(header)
+            for line in lines:
+                self.emit_line(line)
+            if hidden:
+                self.emit_line(f"  ... {hidden} more series")
+        return lines
+
+    def final_summary(self) -> list[str]:
+        """First → last rsd per tracked series (the convergence story)."""
+        lines = []
+        for (group, name), points in sorted(self.history.items()):
+            first, last = points[0], points[-1]
+            lines.append(
+                f"{group or 'all'}:{name}  rsd {_fmt_rsd(first[4])} -> "
+                f"{_fmt_rsd(last[4])} over {len(points)} batches "
+                f"(final {last[1]:,.6g})"
+            )
+        return lines
+
+
+def _group_label(row: dict[str, object]) -> str:
+    """Join the deterministic (group-key) cells into a stable label."""
+    from repro.core.values import UncertainValue
+
+    parts = [
+        f"{k}={v}" for k, v in row.items() if not isinstance(v, UncertainValue)
+    ]
+    return ",".join(parts)
+
+
+def _fmt_rsd(rsd: float) -> str:
+    return "n/a" if rsd != rsd else f"{rsd:.4f}"

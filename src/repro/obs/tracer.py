@@ -1,0 +1,271 @@
+"""Nested spans with deterministic parallel collection.
+
+The tracer mirrors the engine's metrics design: worker threads never
+write shared event buffers. Each thread appends finished events to its
+*current* :class:`TraceBuffer` — the main thread's root buffer by
+default, or a per-execution-unit scratch buffer pushed thread-locally by
+the parallel executor (exactly the ``ctx.push_metrics`` pattern). After
+a batch, the executor merges the scratch buffers into the root in unit
+order, so a parallel run's event *sequence* is deterministic even though
+its timestamps are not.
+
+Span nesting is positional: a span's events carry the buffer's track
+name, and the Chrome exporter reconstructs nesting from per-track time
+containment, which holds by construction (spans on one track come from
+one thread and strictly nest).
+
+The default tracer is :data:`NULL_TRACER`: ``enabled`` is False, every
+span call returns one shared no-op handle, and nothing is ever
+allocated or recorded — instrumentation sites guard any argument
+computation behind ``tracer.enabled``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterable
+
+from repro.obs.events import EVENT_SCHEMA_VERSION, jsonable
+from repro.obs.sinks import EventBus
+
+
+class TraceBuffer:
+    """An append-only event list bound to one logical track."""
+
+    __slots__ = ("track", "events")
+
+    def __init__(self, track: str):
+        self.track = track
+        self.events: list[dict] = []
+
+
+class Span:
+    """A live span handle; a context manager that records on exit."""
+
+    __slots__ = ("_tracer", "_buf", "name", "cat", "batch", "args", "_t0")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        buf: TraceBuffer,
+        name: str,
+        cat: str,
+        batch: int | None,
+        args: dict | None,
+    ):
+        self._tracer = tracer
+        self._buf = buf
+        self.name = name
+        self.cat = cat
+        self.batch = batch
+        self.args = args
+        self._t0 = tracer.now()
+
+    def set(self, **args: object) -> None:
+        """Attach details discovered while the span is running."""
+        if self.args is None:
+            self.args = {}
+        self.args.update(args)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            self.set(error=f"{type(exc).__name__}: {exc}")
+        event = {
+            "v": EVENT_SCHEMA_VERSION,
+            "kind": "span",
+            "name": self.name,
+            "cat": self.cat,
+            "track": self._buf.track,
+            "ts": self._t0,
+            "dur": max(0.0, self._tracer.now() - self._t0),
+        }
+        if self.batch is not None:
+            event["batch"] = self.batch
+        if self.args:
+            event["args"] = {k: jsonable(v) for k, v in self.args.items()}
+        self._buf.events.append(event)
+
+    def __bool__(self) -> bool:
+        return True
+
+
+class Tracer:
+    """Produces spans, instants and counter samples for one execution."""
+
+    enabled = True
+
+    def __init__(self, bus: EventBus, clock: Callable[[], float] = time.perf_counter):
+        self.bus = bus
+        self._clock = clock
+        self._epoch = clock()
+        self._root = TraceBuffer("main")
+        self._local = threading.local()
+
+    # -- time ----------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since the tracer's epoch."""
+        return self._clock() - self._epoch
+
+    # -- buffer routing (the parallel-scratch design) ------------------------------
+
+    def buffer(self, track: str) -> TraceBuffer:
+        """A fresh scratch buffer for one execution unit's events."""
+        return TraceBuffer(track)
+
+    def push_buffer(self, buf: TraceBuffer) -> None:
+        """Route this thread's events to ``buf`` until popped."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(buf)
+
+    def pop_buffer(self) -> TraceBuffer:
+        return self._local.stack.pop()
+
+    def _current(self) -> TraceBuffer:
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1]
+        return self._root
+
+    def merge(self, buffers: Iterable[TraceBuffer]) -> None:
+        """Fold scratch buffers into the root, in the order given.
+
+        Callers pass buffers in unit-index order (the executor sorts), so
+        the merged event sequence matches a serial run's structure.
+        """
+        for buf in buffers:
+            self._root.events.extend(buf.events)
+            buf.events = []
+
+    def flush(self) -> None:
+        """Forward all root-buffer events to the bus (main thread only)."""
+        events, self._root.events = self._root.events, []
+        for event in events:
+            self.bus.emit(event)
+        self.bus.flush()
+
+    # -- producing events ----------------------------------------------------------
+
+    def span(
+        self, name: str, cat: str = "exec", batch: int | None = None, **args: object
+    ) -> Span:
+        return Span(self, self._current(), name, cat, batch, args or None)
+
+    def event(
+        self,
+        kind: str,
+        name: str,
+        cat: str,
+        batch: int | None = None,
+        value: float | None = None,
+        **args: object,
+    ) -> None:
+        record: dict = {
+            "v": EVENT_SCHEMA_VERSION,
+            "kind": kind,
+            "name": name,
+            "cat": cat,
+            "track": self._current().track,
+            "ts": self.now(),
+        }
+        if value is not None:
+            record["value"] = value
+        if batch is not None:
+            record["batch"] = batch
+        if args:
+            record["args"] = {k: jsonable(v) for k, v in args.items()}
+        self._current().events.append(record)
+
+    def instant(self, name: str, cat: str = "exec", batch: int | None = None,
+                **args: object) -> None:
+        self.event("instant", name, cat, batch, **args)
+
+    def warning(self, name: str, batch: int | None = None, **args: object) -> None:
+        """A structured warning (contract violation, rejected query, range
+        failure) placed on the trace timeline."""
+        self.event("warning", name, "warning", batch, **args)
+
+    def counter(self, name: str, value: float, batch: int | None = None) -> None:
+        """One sample of a numeric series (rendered as a counter track)."""
+        if value == value and abs(value) != float("inf"):  # finite only
+            self.event("counter", name, "metric", batch, value=value)
+
+    def convergence(self, name: str, batch: int | None = None, **args: object) -> None:
+        self.event("convergence", name, "convergence", batch, **args)
+
+
+class _NullSpan:
+    """Shared inert span: no state, no allocation, enters and exits as a
+    no-op. ``bool()`` is False so call sites can skip attr computation."""
+
+    __slots__ = ()
+
+    def set(self, **args: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_BUFFER = TraceBuffer("null")
+
+
+class NullTracer:
+    """The default tracer: disabled, allocation-free, safe to call."""
+
+    enabled = False
+
+    def now(self) -> float:
+        return 0.0
+
+    def buffer(self, track: str) -> TraceBuffer:
+        return _NULL_BUFFER
+
+    def push_buffer(self, buf: TraceBuffer) -> None:
+        pass
+
+    def pop_buffer(self) -> TraceBuffer:
+        return _NULL_BUFFER
+
+    def merge(self, buffers: Iterable[TraceBuffer]) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def span(self, name: str, cat: str = "exec", batch: int | None = None,
+             **args: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, kind: str, name: str, cat: str, batch: int | None = None,
+              value: float | None = None, **args: object) -> None:
+        pass
+
+    def instant(self, name: str, cat: str = "exec", batch: int | None = None,
+                **args: object) -> None:
+        pass
+
+    def warning(self, name: str, batch: int | None = None, **args: object) -> None:
+        pass
+
+    def counter(self, name: str, value: float, batch: int | None = None) -> None:
+        pass
+
+    def convergence(self, name: str, batch: int | None = None, **args: object) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -59,6 +59,10 @@ class StateStore:
     deep copy.
     """
 
+    #: Lifetime count of mutating calls (``put``/``delete``), surfaced as
+    #: the ``state.writes`` gauge by the observability layer.
+    writes: int = 0
+
     def get(self, key: str, default: object = None) -> Any:
         raise NotImplementedError
 
@@ -111,11 +115,13 @@ class InMemoryStateStore(StateStore):
         self._entries: dict[str, object] = {}
         self._static: set[str] = set()
         self.observer: Any = None
+        self.writes = 0
 
     def get(self, key: str, default: object = None) -> Any:
         return self._entries.get(key, default)
 
     def put(self, key: str, value: object, static: bool = False) -> None:
+        self.writes += 1
         if self.observer is not None:
             self.observer(key)
         self._entries[key] = value
@@ -125,6 +131,7 @@ class InMemoryStateStore(StateStore):
             self._static.discard(key)
 
     def delete(self, key: str) -> None:
+        self.writes += 1
         if self.observer is not None:
             self.observer(key)
         self._entries.pop(key, None)

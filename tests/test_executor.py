@@ -222,3 +222,74 @@ class TestOpSeconds:
         ex = ParallelExecutor(max_workers=2)
         ex.close()
         ex.close()
+
+
+class _SleepUnit(_Unit):
+    """A unit that just occupies its worker for a fixed time."""
+
+    def __init__(self, label, produces, seconds):
+        super().__init__(label, produces=produces)
+        self.seconds = seconds
+
+    def run(self, ctx):
+        import time
+
+        time.sleep(self.seconds)
+
+
+def _fresh_ctx():
+    from repro.core.blocks import RuntimeContext
+    from repro.metrics import BatchMetrics
+
+    rel = random_kx(10, seed=0, groups=2)
+    ctx = RuntimeContext(Catalog({"t": rel}), "t", len(rel), OnlineConfig(num_trials=5))
+    bm = BatchMetrics(1)
+    ctx.begin_batch(1, rel, bm)
+    return ctx, bm
+
+
+class TestUnitSeconds:
+    """wall_seconds is the controller's true batch elapsed; unit_seconds is
+    the CPU-occupancy sum over units. Under the parallel executor, with
+    independent units genuinely overlapping, wall < sum-of-units — the
+    historical bug was reporting the sum as if it were wall time."""
+
+    SLEEP = 0.15
+
+    def test_parallel_wall_not_inflated(self):
+        import time
+
+        ctx, bm = _fresh_ctx()
+        units = [
+            _SleepUnit("a", {1}, self.SLEEP),
+            _SleepUnit("b", {2}, self.SLEEP),
+        ]
+        ex = ParallelExecutor(max_workers=2)
+        try:
+            started = time.perf_counter()
+            ex.execute(units, ctx)
+            bm.wall_seconds = time.perf_counter() - started
+        finally:
+            ex.close()
+        # Both units slept concurrently: the occupancy sum sees both
+        # sleeps, the wall clock only one.
+        assert bm.unit_seconds >= 2 * self.SLEEP
+        assert bm.wall_seconds <= bm.unit_seconds
+
+    def test_serial_accumulates_unit_seconds(self):
+        ctx, bm = _fresh_ctx()
+        units = [_SleepUnit("a", {1}, 0.01), _SleepUnit("b", {2}, 0.01)]
+        SerialExecutor().execute(units, ctx)
+        assert bm.unit_seconds >= 0.02
+
+    def test_merge_folds_unit_seconds_not_wall(self):
+        from repro.metrics import BatchMetrics
+
+        a = BatchMetrics(1)
+        a.wall_seconds = 5.0
+        scratch = BatchMetrics(1)
+        scratch.unit_seconds = 2.0
+        scratch.wall_seconds = 99.0  # scratches never own wall time
+        a.merge_from(scratch)
+        assert a.unit_seconds == 2.0
+        assert a.wall_seconds == 5.0

@@ -7,7 +7,13 @@ import pytest
 
 from repro.core.result import PartialResult
 from repro.core.values import UncertainValue
-from repro.metrics import BatchMetrics, RunMetrics
+from repro.metrics import (
+    RUN_METRICS_SCHEMA_VERSION,
+    BatchMetrics,
+    RunMetrics,
+    validate_batch_metrics,
+    validate_run_metrics,
+)
 from repro.relational import ColumnType, Schema
 
 
@@ -115,6 +121,110 @@ class TestBatchMetricsMerge:
         assert a.op_seconds == {"scan:t": 1.0}
         assert a.recovered
         assert a.recovery_seconds == 1.5
+
+
+class TestMetricsSchema:
+    """The --metrics-out artifact shape is pinned: golden field sets, a
+    version constant, and a validator that rejects drift in either
+    direction (missing AND unknown fields)."""
+
+    def make(self):
+        rm = RunMetrics()
+        for i in (1, 2):
+            bm = rm.start_batch(i)
+            bm.wall_seconds = float(i)
+            bm.unit_seconds = float(i) * 0.5
+            bm.add_state("join:x", 100 * i)
+            bm.add_op_seconds("scan:t", 0.1)
+        rm.batches[1].recovered = True
+        return rm
+
+    def test_schema_version_pinned(self):
+        assert RUN_METRICS_SCHEMA_VERSION == 1
+
+    def test_golden_field_sets(self):
+        # Adding/removing a metrics field must touch this test AND bump
+        # RUN_METRICS_SCHEMA_VERSION — that is the point of the pin.
+        rm = self.make()
+        data = rm.to_dict()
+        assert set(data) == {
+            "schema_version", "num_batches", "total_seconds",
+            "total_unit_seconds", "total_recomputed", "total_shipped_bytes",
+            "num_recoveries", "pruning_disabled", "analysis_seconds",
+            "op_seconds", "batches",
+        }
+        assert set(data["batches"][0]) == {
+            "batch_no", "wall_seconds", "unit_seconds", "new_tuples",
+            "recomputed_tuples", "shipped_bytes", "state_bytes",
+            "total_state_bytes", "op_seconds", "recovered",
+            "recovery_seconds",
+        }
+        assert data["schema_version"] == RUN_METRICS_SCHEMA_VERSION
+
+    def test_file_round_trip_validates(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        path.write_text(self.make().to_json(indent=2))
+        reloaded = json.loads(path.read_text())
+        validate_run_metrics(reloaded)  # raises on any drift
+        assert reloaded == self.make().to_dict()
+        assert reloaded["total_unit_seconds"] == pytest.approx(1.5)
+
+    def test_unknown_field_rejected(self):
+        data = self.make().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown field"):
+            validate_run_metrics(data)
+
+    def test_missing_field_rejected(self):
+        data = self.make().to_dict()
+        del data["total_seconds"]
+        with pytest.raises(ValueError, match="missing field"):
+            validate_run_metrics(data)
+
+    def test_wrong_version_rejected(self):
+        data = self.make().to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            validate_run_metrics(data)
+
+    def test_batch_count_mismatch_rejected(self):
+        data = self.make().to_dict()
+        data["num_batches"] = 5
+        with pytest.raises(ValueError, match="num_batches"):
+            validate_run_metrics(data)
+
+    def test_bad_batch_field_located(self):
+        data = self.make().to_dict()
+        data["batches"][1]["wall_seconds"] = "fast"
+        with pytest.raises(ValueError, match=r"batches\[1\]"):
+            validate_run_metrics(data)
+
+    def test_batch_validator_standalone(self):
+        bm = BatchMetrics(3)
+        bm.add_state("join:1", 10)
+        validate_batch_metrics(bm.to_dict())
+        bad = bm.to_dict()
+        bad["state_bytes"] = {"join:1": "lots"}
+        with pytest.raises(ValueError, match="state_bytes"):
+            validate_batch_metrics(bad)
+
+    def test_engine_run_artifact_validates(self):
+        # End to end: a real engine run's artifact passes the validator.
+        from repro.core import OnlineConfig, OnlineQueryEngine
+        from repro.relational import Catalog, col, scan, sum_
+        from tests.conftest import KX_SCHEMA, random_kx
+
+        catalog = Catalog({"t": random_kx(200, seed=2, groups=3)})
+        plan = scan("t", KX_SCHEMA).select(col("x") > 5.0).aggregate(
+            ["k"], [sum_("y", "sy")]
+        )
+        engine = OnlineQueryEngine(catalog, "t", OnlineConfig(num_trials=5, seed=2))
+        engine.run_to_completion(plan, 3)
+        import json
+
+        validate_run_metrics(json.loads(engine.metrics.to_json()))
 
 
 SCHEMA = Schema([("k", ColumnType.INT), ("v", ColumnType.FLOAT)])

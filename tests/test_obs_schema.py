@@ -1,0 +1,190 @@
+"""Golden tests pinning the observability event schema.
+
+These tests freeze the event-schema version and field sets: any change
+to the wire format must touch this file (and bump the version constant)
+deliberately, so saved traces and the CI smoke job never drift silently.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.events import (
+    COMMON_FIELDS,
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    KIND_FIELDS,
+    OPTIONAL_FIELDS,
+    jsonable,
+    read_events,
+    validate_event,
+    validate_events,
+)
+
+
+def make_span(**over):
+    event = {
+        "v": EVENT_SCHEMA_VERSION,
+        "kind": "span",
+        "name": "batch",
+        "cat": "exec",
+        "track": "main",
+        "ts": 0.5,
+        "dur": 0.1,
+    }
+    event.update(over)
+    return event
+
+
+class TestGoldenSchema:
+    """The frozen shape of the trace wire format (version 1)."""
+
+    def test_version_pinned(self):
+        assert EVENT_SCHEMA_VERSION == 1
+
+    def test_kinds_pinned(self):
+        assert EVENT_KINDS == {
+            "span", "instant", "counter", "warning", "convergence"
+        }
+
+    def test_common_fields_pinned(self):
+        assert set(COMMON_FIELDS) == {"v", "kind", "name", "cat", "track", "ts"}
+
+    def test_kind_fields_pinned(self):
+        assert set(KIND_FIELDS) == set(EVENT_KINDS)
+        assert set(KIND_FIELDS["span"]) == {"dur"}
+        assert set(KIND_FIELDS["counter"]) == {"value"}
+        assert KIND_FIELDS["instant"] == {}
+        assert KIND_FIELDS["warning"] == {}
+        assert KIND_FIELDS["convergence"] == {}
+
+    def test_optional_fields_pinned(self):
+        assert set(OPTIONAL_FIELDS) == {"batch", "args"}
+
+
+class TestValidateEvent:
+    def test_valid_span_accepted(self):
+        validate_event(make_span(batch=3, args={"rows": 10}))
+
+    def test_valid_counter_accepted(self):
+        validate_event({
+            "v": 1, "kind": "counter", "name": "state.total_bytes",
+            "cat": "metric", "track": "main", "ts": 0.0, "value": 42,
+        })
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_event([1, 2])
+
+    def test_missing_field_rejected(self):
+        event = make_span()
+        del event["track"]
+        with pytest.raises(ValueError, match="missing required field 'track'"):
+            validate_event(event)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            validate_event(make_span(surprise=1))
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError, match="schema version"):
+            validate_event(make_span(v=2))
+
+    def test_unknown_kind_rejected(self):
+        event = make_span(kind="gauge")
+        del event["dur"]
+        with pytest.raises(ValueError, match="unknown event kind"):
+            validate_event(event)
+
+    def test_bool_not_accepted_as_number(self):
+        with pytest.raises(ValueError, match="'ts'"):
+            validate_event(make_span(ts=True))
+
+    def test_negative_ts_rejected(self):
+        with pytest.raises(ValueError, match="ts must be"):
+            validate_event(make_span(ts=-1.0))
+
+    def test_negative_dur_rejected(self):
+        with pytest.raises(ValueError, match="dur must be"):
+            validate_event(make_span(dur=-0.1))
+
+    def test_nonfinite_counter_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            validate_event({
+                "v": 1, "kind": "counter", "name": "x", "cat": "metric",
+                "track": "main", "ts": 0.0, "value": math.nan,
+            })
+
+    def test_bad_optional_type_rejected(self):
+        with pytest.raises(ValueError, match="'batch'"):
+            validate_event(make_span(batch="three"))
+
+    def test_validate_events_counts(self):
+        assert validate_events([make_span(), make_span()]) == 2
+
+
+class TestJsonable:
+    def test_passthrough(self):
+        assert jsonable(3) == 3
+        assert jsonable("x") == "x"
+        assert jsonable(None) is None
+        assert jsonable(True) is True
+        assert jsonable(1.5) == 1.5
+
+    def test_nonfinite_floats_become_none(self):
+        assert jsonable(math.nan) is None
+        assert jsonable(math.inf) is None
+
+    def test_containers_recursive(self):
+        assert jsonable({"a": [1, math.nan]}) == {"a": [1, None]}
+        assert jsonable((1, 2)) == [1, 2]
+
+    def test_numpy_scalars_unwrap(self):
+        import numpy as np
+
+        assert jsonable(np.int64(7)) == 7
+        assert jsonable(np.float64(2.5)) == 2.5
+
+    def test_unknown_objects_repr(self):
+        class Thing:
+            def __repr__(self):
+                return "<thing>"
+
+        assert jsonable(Thing()) == "<thing>"
+
+    def test_span_args_json_serializable(self):
+        # The whole point: whatever lands in args must survive json.dumps
+        # with allow_nan=False (the JsonlSink contract).
+        args = jsonable({"w": math.inf, "k": (1, 2), "o": object()})
+        json.dumps(args, allow_nan=False)
+
+
+class TestReadEvents:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = [make_span(), make_span(name="op", batch=1)]
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        assert list(read_events(path)) == events
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(make_span()) + "\n\n\n")
+        assert len(list(read_events(path))) == 1
+
+    def test_bad_json_reports_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(make_span()) + "\n{oops\n")
+        with pytest.raises(ValueError, match=r":2: not valid JSON"):
+            list(read_events(path))
+
+    def test_invalid_event_reports_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(make_span(v=9)) + "\n")
+        with pytest.raises(ValueError, match=r":1: "):
+            list(read_events(path))
+
+    def test_validation_can_be_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(make_span(v=9)) + "\n")
+        assert list(read_events(path, validate=False))[0]["v"] == 9
