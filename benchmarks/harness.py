@@ -93,6 +93,7 @@ def run_iolap(
     lazy_lineage: bool = True,
     keep_partials: bool = False,
     executor: str = "serial",
+    vectorize: bool = True,
 ) -> OnlineRun:
     catalog = catalog if catalog is not None else catalog_for(spec)
     engine = OnlineQueryEngine(
@@ -104,6 +105,7 @@ def run_iolap(
             seed=seed,
             prune_with_ranges=prune_with_ranges,
             lazy_lineage=lazy_lineage,
+            vectorize=vectorize,
         ),
         executor=executor,
     )

@@ -1,0 +1,343 @@
+"""Kernel-layer perf benchmarks: microbenchmarks + ND-heavy end-to-end A/B.
+
+Two layers of evidence for the vectorized hot paths:
+
+* **Microbenchmarks** — each kernel (key codec, join gather, grouped
+  holistic trials, batched lineage resolution) timed against its row-wise
+  reference on identical inputs.
+* **End-to-end** — an ND-heavy online run (uncertain semijoin membership
+  feeding a holistic MEDIAN aggregate, every fact row ND until the member
+  list stabilizes) executed with ``vectorize`` on and off, recording the
+  per-batch wall series, per-operator ``op_seconds``, and the kernel
+  cache counters.
+
+Results are written to ``BENCH_kernels.json`` at the repo root — the
+machine-readable perf trajectory CI regenerates and diffs (the
+``perf-smoke`` job fails on a >2x slowdown against the checked-in
+numbers).
+
+Scale knobs (environment variables, defaults = the paper-sized config):
+
+* ``IOLAP_PERF_SCALE``   — TPC-H scale factor (default 2.0 = 40k fact rows)
+* ``IOLAP_PERF_BATCHES`` — mini-batches (default 20)
+* ``IOLAP_PERF_TRIALS``  — bootstrap trials (default 60)
+* ``IOLAP_PERF_REPS``    — repetitions, best-of (default 3)
+* ``IOLAP_PERF_MIN_SPEEDUP`` — end-to-end assertion floor (default 1.5;
+  the checked-in full-scale run shows >=3x)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineConfig, OnlineQueryEngine
+from repro.core.blocks import BlockOutput, GroupValue, MEMBER_UNKNOWN, RuntimeContext
+from repro.core.classify import evaluate_side
+from repro.core.values import LineageRef, UncertainValue, VariationRange
+from repro.kernels.codec import factorize_keys
+from repro.kernels.holistic import grouped_indices, weighted_quantile, weighted_quantile_trials
+from repro.kernels.joins import SideIndex, vectorized_join
+from repro.kernels.stats import STATS
+from repro.relational import Catalog, ColumnType, Relation, Schema, col, scan
+from repro.relational.aggregates import count, median, sum_
+from repro.relational.evaluator import join_relations
+from repro.relational.expressions import Col
+from repro.workloads.tpch import LINEORDER_SCHEMA
+
+from benchmarks.harness import SEED, tpch_catalog
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_kernels.json"
+
+PERF_SCALE = float(os.environ.get("IOLAP_PERF_SCALE", "2.0"))
+PERF_BATCHES = int(os.environ.get("IOLAP_PERF_BATCHES", "20"))
+PERF_TRIALS = int(os.environ.get("IOLAP_PERF_TRIALS", "60"))
+PERF_REPS = int(os.environ.get("IOLAP_PERF_REPS", "3"))
+MIN_SPEEDUP = float(os.environ.get("IOLAP_PERF_MIN_SPEEDUP", "1.5"))
+
+
+def best_of(fn, reps: int = PERF_REPS) -> float:
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def fresh(rel: Relation) -> Relation:
+    """New Relation identity over shared arrays — defeats the per-object
+    memo caches so microbenchmarks time the cold kernel, not the cache."""
+    return Relation(rel.schema, rel.columns, rel.mult, rel.trial_mults)
+
+
+# -- the ND-heavy end-to-end configuration ------------------------------------------
+
+
+def nd_heavy_plan(catalog: Catalog):
+    """Uncertain semijoin + holistic aggregate: the worst-case ND shape.
+
+    The member list is the set of customers whose total revenue exceeds
+    the *median* per-customer revenue — a threshold that keeps roughly
+    half the groups ND until late in the run, so every fact row joins
+    against an uncertain membership and the MEDIAN aggregate re-evaluates
+    its whole row store per batch.
+    """
+    price = catalog.get("lineorder").column("extendedprice")
+    disc = catalog.get("lineorder").column("discount")
+    cust = catalog.get("lineorder").column("custkey")
+    _, inverse = np.unique(cust, return_inverse=True)
+    revenue = np.bincount(inverse, weights=price * (1.0 - disc))
+    threshold = float(np.median(revenue))
+    member = (
+        scan("lineorder", LINEORDER_SCHEMA)
+        .aggregate(
+            ["custkey"],
+            [sum_(col("extendedprice") * (1 - col("discount")), "revenue")],
+        )
+        .select(col("revenue") > threshold)
+        .project([("k2", col("custkey"))])
+    )
+    plan = (
+        scan("lineorder", LINEORDER_SCHEMA)
+        .join(member, keys=[("custkey", "k2")])
+        .aggregate(["custkey"], [median("extendedprice", "med_price"), count("n")])
+    )
+    return plan, threshold
+
+
+def run_mode(catalog: Catalog, plan, vectorize: bool) -> dict:
+    STATS.reset()
+    engine = OnlineQueryEngine(
+        catalog,
+        "lineorder",
+        OnlineConfig(num_trials=PERF_TRIALS, seed=SEED, vectorize=vectorize),
+    )
+    t0 = time.perf_counter()
+    for _ in engine.run(plan, PERF_BATCHES):
+        pass
+    total = time.perf_counter() - t0
+    engine.executor.close()
+    return {
+        "total_seconds": total,
+        "per_batch_seconds": [bm.wall_seconds for bm in engine.metrics.batches],
+        "op_seconds": engine.metrics.total_op_seconds(),
+        "kernel_stats": STATS.snapshot(),
+    }
+
+
+# -- microbenchmark inputs ------------------------------------------------------
+
+
+def _codec_bench(lineorder: Relation) -> dict:
+    names = ["custkey", "shipmode"]
+
+    def reference():
+        rel = fresh(lineorder)
+        codes_of: dict[tuple, int] = {}
+        codes = np.empty(len(rel), dtype=np.intp)
+        for i, key in enumerate(rel.key_tuples(names)):
+            codes[i] = codes_of.setdefault(key, len(codes_of))
+        return codes
+
+    vec_s = best_of(lambda: factorize_keys(fresh(lineorder), names))
+    ref_s = best_of(reference)
+    return {"vectorized_seconds": vec_s, "reference_seconds": ref_s,
+            "speedup": ref_s / vec_s}
+
+
+def _join_bench(lineorder: Relation) -> dict:
+    custkeys = np.unique(lineorder.column("custkey"))
+    dim = Relation(
+        Schema([("k2", ColumnType.INT), ("grp", ColumnType.INT)]),
+        {"k2": custkeys, "grp": custkeys % 7},
+    )
+    keys = [("custkey", "k2")]
+    index = SideIndex(dim, ["k2"])
+
+    vec_s = best_of(lambda: vectorized_join(fresh(lineorder), dim, keys, index))
+    ref_s = best_of(lambda: join_relations(fresh(lineorder), dim, keys))
+    return {"vectorized_seconds": vec_s, "reference_seconds": ref_s,
+            "speedup": ref_s / vec_s}
+
+
+def _holistic_bench(lineorder: Relation) -> dict:
+    rng = np.random.default_rng(SEED)
+    values = np.asarray(lineorder.column("extendedprice"), dtype=np.float64)
+    trial_w = rng.poisson(1.0, (len(values), PERF_TRIALS)).astype(np.float64)
+    kc = factorize_keys(lineorder, ["custkey"])
+    groups = grouped_indices(kc.codes, kc.num_keys)
+
+    def vectorized():
+        for ix in groups:
+            weighted_quantile_trials(values[ix], trial_w[ix], 0.5)
+
+    def reference():
+        for ix in groups:
+            v, w = values[ix], trial_w[ix]
+            out = np.empty(PERF_TRIALS)
+            for j in range(PERF_TRIALS):
+                out[j] = weighted_quantile(v, w[:, j], 0.5)
+
+    vec_s = best_of(vectorized)
+    ref_s = best_of(reference, reps=1)
+    return {"vectorized_seconds": vec_s, "reference_seconds": ref_s,
+            "speedup": ref_s / vec_s}
+
+
+def _classify_bench() -> dict:
+    n, n_groups = 20_000, 200
+    rng = np.random.default_rng(SEED)
+
+    def make_ctx(vectorize: bool) -> RuntimeContext:
+        ctx = RuntimeContext(
+            Catalog({}), "t", n,
+            OnlineConfig(num_trials=PERF_TRIALS, seed=SEED, vectorize=vectorize),
+        )
+        ctx.batch_no = 1
+        block = BlockOutput(1, ["k"], ["v"])
+        for k in range(n_groups):
+            trials = rng.normal(100.0, 10.0, PERF_TRIALS)
+            value = UncertainValue(
+                float(trials.mean()), trials,
+                VariationRange.from_trials(trials, 2.0),
+                LineageRef(1, (k,), "v"),
+            )
+            block.publish(
+                GroupValue((k,), {"k": k, "v": value}, False,
+                           member_status=MEMBER_UNKNOWN, member_point=True,
+                           exist_trials=np.ones(PERF_TRIALS, dtype=bool)),
+                is_new=True,
+            )
+        ctx.blocks[1] = block
+        return ctx
+
+    refs = np.array(
+        [LineageRef(1, (i % n_groups,), "v") for i in range(n)], dtype=object
+    )
+    rel = Relation(
+        Schema([("u", ColumnType.STRING), ("d", ColumnType.FLOAT)]),
+        {"u": refs, "d": rng.normal(0.0, 1.0, n)},
+    )
+    expr = Col("u") * 0.5 + col("d")
+    ctx_vec, ctx_ref = make_ctx(True), make_ctx(False)
+
+    vec_s = best_of(lambda: evaluate_side(expr, rel, {"u"}, ctx_vec))
+    ref_s = best_of(lambda: evaluate_side(expr, rel, {"u"}, ctx_ref))
+    return {"vectorized_seconds": vec_s, "reference_seconds": ref_s,
+            "speedup": ref_s / vec_s}
+
+
+# -- the suite ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bench() -> dict:
+    catalog = tpch_catalog(PERF_SCALE)
+    lineorder = catalog.get("lineorder")
+    plan, threshold = nd_heavy_plan(catalog)
+
+    micro = {
+        "key_codec": _codec_bench(lineorder),
+        "vectorized_join": _join_bench(lineorder),
+        "holistic_trials": _holistic_bench(lineorder),
+        "classify_resolve": _classify_bench(),
+    }
+
+    runs = {True: None, False: None}
+    for vec in (True, False):
+        best = None
+        for _ in range(PERF_REPS):
+            result = run_mode(catalog, plan, vec)
+            if best is None or result["total_seconds"] < best["total_seconds"]:
+                best = result
+        runs[vec] = best
+
+    vec_run, ref_run = runs[True], runs[False]
+    per_batch_speedup = [
+        r / v
+        for r, v in zip(ref_run["per_batch_seconds"], vec_run["per_batch_seconds"])
+        if v > 0
+    ]
+    result = {
+        "schema": "bench-kernels-v1",
+        "config": {
+            "tpch_scale": PERF_SCALE,
+            "fact_rows": len(lineorder),
+            "num_batches": PERF_BATCHES,
+            "num_trials": PERF_TRIALS,
+            "reps": PERF_REPS,
+            "seed": SEED,
+            "nd_threshold": threshold,
+            "query": "lineorder semijoin(custkey revenue > median) "
+                     "-> groupby custkey [median(extendedprice), count]",
+        },
+        "microbenchmarks": micro,
+        "end_to_end": {
+            "vectorized": vec_run,
+            "reference": ref_run,
+            "speedup": ref_run["total_seconds"] / vec_run["total_seconds"],
+            "per_batch_speedup_mean": float(np.mean(per_batch_speedup)),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return result
+
+
+def test_microbenchmarks_beat_reference(bench):
+    # 0.9 rather than 1.0: shared-runner noise can shave a few percent off
+    # a marginal kernel at reduced scale; real regressions are caught by
+    # the perf-smoke baseline comparison (>2x slowdown fails CI).
+    slow = {
+        name: numbers["speedup"]
+        for name, numbers in bench["microbenchmarks"].items()
+        if numbers["speedup"] < 0.9
+    }
+    assert not slow, f"kernels slower than their row-wise reference: {slow}"
+
+
+def test_nd_heavy_speedup(bench):
+    speedup = bench["end_to_end"]["speedup"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"end-to-end ND-heavy speedup {speedup:.2f}x below floor {MIN_SPEEDUP}x"
+    )
+
+
+def test_op_seconds_confirm_hot_path_win(bench):
+    """The win must come from the rewired operators, not ambient noise."""
+    def hot_path_seconds(run):
+        return sum(
+            seconds
+            for op, seconds in run["op_seconds"].items()
+            if "aggregate" in op or "join" in op
+        )
+
+    vec = hot_path_seconds(bench["end_to_end"]["vectorized"])
+    ref = hot_path_seconds(bench["end_to_end"]["reference"])
+    assert ref > vec, f"hot-path op_seconds did not improve: ref={ref} vec={vec}"
+
+
+def test_kernel_caches_hit(bench):
+    # The ND-heavy plan joins against a *block view* (the member list), so
+    # the codec and group-view caches are the ones exercised; the static
+    # dimension-side index has its own tests in tests/test_kernels.py.
+    stats = bench["end_to_end"]["vectorized"]["kernel_stats"]
+    assert stats["codec_hits"] > 0, stats
+    assert stats["view_table_hits"] > 0, stats
+
+
+def test_bench_file_checked_in_and_valid(bench):
+    on_disk = json.loads(BENCH_PATH.read_text())
+    assert on_disk["schema"] == "bench-kernels-v1"
+    for section in ("config", "microbenchmarks", "end_to_end"):
+        assert section in on_disk
+    for mode in ("vectorized", "reference"):
+        run = on_disk["end_to_end"][mode]
+        assert len(run["per_batch_seconds"]) == on_disk["config"]["num_batches"]
+        assert run["total_seconds"] > 0

@@ -165,6 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
         "immutability, state-entry discipline, cross-thread write "
         "isolation; results are unchanged",
     )
+    parser.add_argument(
+        "--no-vectorize", action="store_true",
+        help="run operator hot paths row by row instead of through the "
+        "vectorized kernels (iolap engine); results are bit-identical, "
+        "only slower — an A/B lever for debugging and benchmarks",
+    )
     _add_logging_flags(parser)
     return parser
 
@@ -429,6 +435,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             slack=args.slack,
             seed=args.seed,
             verify=args.verify,
+            vectorize=not args.no_vectorize,
         ),
         executor=args.executor,
         obs=obs,

@@ -134,6 +134,11 @@ class OnlineConfig:
     lazy_lineage: bool = True
     #: RNG seed for partitioning and bootstrap draws.
     seed: int = 0
+    #: Use the vectorized hot-path kernels (``repro.kernels``). Off = the
+    #: row-wise reference implementations; results are bit-identical
+    #: either way (enforced by tests), so this is a perf escape hatch and
+    #: an A/B lever for the kernel benchmarks, not a semantics switch.
+    vectorize: bool = True
     #: Contract-check mode: cross-check the static analyzer's claims at
     #: runtime (input fingerprints around each ``process`` call, state-key
     #: snapshots per batch, cross-thread store-write detection). Purely

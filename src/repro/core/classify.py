@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.blocks import RuntimeContext
 from repro.core.values import LineageRef, UncertainValue
 from repro.errors import UnsupportedQueryError
+from repro.kernels import resolve as kresolve
 from repro.relational.expressions import Col, Comparison, Expression
 from repro.relational.relation import Relation
 
@@ -50,7 +51,9 @@ class SideValues:
     def trial_matrix(self, num_trials: int) -> np.ndarray:
         if self.trials is not None:
             return self.trials
-        return np.repeat(self.point[:, None], num_trials, axis=1)
+        # Read-only broadcast view: every consumer copies (fancy-index,
+        # ufunc result, or explicit .copy()) before writing.
+        return np.broadcast_to(self.point[:, None], (len(self.point), num_trials))
 
 
 @dataclass
@@ -64,7 +67,7 @@ class ClassifyResult:
     def trial_matrix(self, num_trials: int) -> np.ndarray:
         if self.trials is not None:
             return self.trials
-        return np.repeat(self.point[:, None], num_trials, axis=1)
+        return np.broadcast_to(self.point[:, None], (len(self.point), num_trials))
 
 
 def evaluate_side(
@@ -82,6 +85,11 @@ def evaluate_side(
 
     if isinstance(expr, Col):
         return _resolve_column(rel.column(expr.name), n, ctx)
+
+    if ctx.config.vectorize:
+        out = kresolve.try_evaluate_side(expr, rel, uncertain_cols, ctx)
+        if out is not None:
+            return SideValues(*out)
 
     # General path: per-row evaluation with UncertainValue arithmetic.
     lo = np.empty(n)
@@ -122,6 +130,8 @@ def _resolve_column(
     column: np.ndarray, n: int, ctx: RuntimeContext
 ) -> SideValues:
     """Fast path: a bare uncertain column of refs / uncertain values."""
+    if ctx.config.vectorize:
+        return SideValues(*kresolve.resolve_column(column, n, ctx))
     lo = np.empty(n)
     hi = np.empty(n)
     point = np.empty(n)

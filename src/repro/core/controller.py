@@ -31,6 +31,7 @@ from repro.core.result import PartialResult
 from repro.core.values import UncertainValue
 from repro.engine.executor import BatchExecutor, make_executor
 from repro.errors import RangeIntegrityError, ReproError, UnsupportedQueryError
+from repro.kernels.stats import STATS as KERNEL_STATS
 from repro.metrics.stats import BatchMetrics, RunMetrics
 from repro.obs.session import NULL_OBS
 from repro.relational.algebra import PlanNode
@@ -267,6 +268,8 @@ class OnlineQueryEngine:
         reg.gauge("engine.range_failures").set(ctx.monitor.failures)
         reg.counter("engine.recomputed_tuples").inc(bm.recomputed_tuples)
         reg.counter("engine.shipped_bytes").inc(bm.shipped_bytes)
+        for name, value in KERNEL_STATS.snapshot().items():
+            reg.gauge(f"kernel.{name}").set(value)
         ctx.obs.emit_metrics(batch=batch_no)
 
     def _make_result(

@@ -9,6 +9,8 @@ from repro.core.classify import evaluate_side
 from repro.core.operators.base import DeltaBatch, SpineOp, StateRule, TagRule
 from repro.core.sketch import AggBundle
 from repro.core.values import LineageRef, UncertainValue
+from repro.kernels.codec import factorize_keys, recode_subset
+from repro.kernels.holistic import grouped_indices
 from repro.errors import UnsupportedQueryError
 from repro.relational.aggregates import AggSpec
 from repro.relational.relation import Relation
@@ -142,9 +144,15 @@ class AggregateOp(SpineOp):
             store = self.row_store
             self.row_store = cin if store is None else store.concat(cin)
         if len(cin):
-            self.certain_groups.update(
-                cin.key_tuples(self.group_by) if self.group_by else [()]
-            )
+            if ctx.config.vectorize:
+                # The codec's distinct keys update the set identically to
+                # the per-row tuples (set semantics), without building a
+                # tuple per row.
+                self.certain_groups.update(factorize_keys(cin, self.group_by).keys)
+            else:
+                self.certain_groups.update(
+                    cin.key_tuples(self.group_by) if self.group_by else [()]
+                )
 
         volatile_bundle = None
         if len(vin):
@@ -197,24 +205,44 @@ class AggregateOp(SpineOp):
     ) -> None:
         rows = self._lazy_input(ctx, vin)
         ctx.metrics.recomputed_tuples += len(rows)
-        keys = rows.key_tuples(self.group_by) if self.group_by else [()] * len(rows)
+        vectorize = ctx.config.vectorize
+        kc = factorize_keys(rows, self.group_by) if vectorize else None
+        keys = (
+            None
+            if vectorize
+            else rows.key_tuples(self.group_by) if self.group_by else [()] * len(rows)
+        )
+        # Deterministic-mult stores never materialize the (n, T) copy —
+        # the broadcast is read-only and all uses below fancy-index it.
         trial_w = (
             rows.trial_mults
             if rows.trial_mults is not None
-            else np.repeat(rows.mult[:, None], ctx.num_trials, axis=1)
+            else np.broadcast_to(rows.mult[:, None], (len(rows), ctx.num_trials))
         )
         for spec in self.lazy_specs:
             side = evaluate_side(spec.arg, rows, self.child.uncertain_cols, ctx)
             ok = ~side.pending
             bundle = AggBundle([spec], ctx.num_trials)
-            bundle.fold_values(
-                [k for k, good in zip(keys, ok) if good],
-                0,
-                side.point[ok],
-                side.trial_matrix(ctx.num_trials)[ok],
-                rows.mult[ok],
-                trial_w[ok],
-            )
+            if vectorize:
+                sub_keys, sub_codes = recode_subset(kc, ok)
+                bundle.fold_values_coded(
+                    sub_keys,
+                    sub_codes,
+                    0,
+                    side.point[ok],
+                    side.trial_matrix(ctx.num_trials)[ok],
+                    rows.mult[ok],
+                    trial_w[ok],
+                )
+            else:
+                bundle.fold_values(
+                    [k for k, good in zip(keys, ok) if good],
+                    0,
+                    side.point[ok],
+                    side.trial_matrix(ctx.num_trials)[ok],
+                    rows.mult[ok],
+                    trial_w[ok],
+                )
             values, trial_values = bundle.finalize(0, scale)
             for gi, key in enumerate(bundle.keys):
                 vals = per_group.setdefault(key, {})
@@ -223,17 +251,26 @@ class AggregateOp(SpineOp):
                 exist_point.setdefault(key, bool(bundle.weight[gi] > 0))
         for spec in self.holistic_specs:
             values_arr = spec.arg_values(rows)
-            by_group: dict[GroupKey, list[int]] = {}
-            for i, key in enumerate(keys):
-                by_group.setdefault(key, []).append(i)
-            for key, idx in by_group.items():
-                ix = np.asarray(idx, dtype=np.intp)
+            if vectorize:
+                group_iter = zip(kc.keys, grouped_indices(kc.codes, kc.num_keys))
+            else:
+                by_group: dict[GroupKey, list[int]] = {}
+                for i, key in enumerate(keys):
+                    by_group.setdefault(key, []).append(i)
+                group_iter = (
+                    (key, np.asarray(idx, dtype=np.intp))
+                    for key, idx in by_group.items()
+                )
+            for key, ix in group_iter:
                 point = spec.func.compute(values_arr[ix], rows.mult[ix]) * (
                     scale if spec.func.scales_with_m else 1.0
                 )
-                trials = np.empty(ctx.num_trials)
-                for j in range(ctx.num_trials):
-                    trials[j] = spec.func.compute(values_arr[ix], trial_w[ix, j])
+                if vectorize:
+                    trials = spec.func.trial_compute(values_arr[ix], trial_w[ix])
+                else:
+                    trials = np.empty(ctx.num_trials)
+                    for j in range(ctx.num_trials):
+                        trials[j] = spec.func.compute(values_arr[ix], trial_w[ix, j])
                 if spec.func.scales_with_m:
                     trials = trials * scale
                 vals = per_group.setdefault(key, {})
@@ -258,15 +295,43 @@ class AggregateOp(SpineOp):
             if obs_on
             else None
         )
-        for key, raw in per_group.items():
+        # Vectorized mode batches the range estimation per spec column —
+        # one (G, T) reduction instead of G scalar observe() calls — with
+        # bit-identical bounds (see RangeMonitor.observe_batch).
+        batched_ranges: dict[str, list] | None = None
+        if ctx.config.vectorize and per_group:
+            keys_order = list(per_group)
+            batched_ranges = {}
+            for spec in self.specs:
+                points = np.fromiter(
+                    (float(per_group[k][spec.name][0]) for k in keys_order),  # type: ignore[index]
+                    dtype=np.float64,
+                    count=len(keys_order),
+                )
+                trials_mat = np.vstack(
+                    [
+                        np.asarray(per_group[k][spec.name][1], dtype=np.float64)  # type: ignore[index]
+                        for k in keys_order
+                    ]
+                )
+                batched_ranges[spec.name] = ctx.monitor.observe_batch(
+                    self.block_id, spec.name, keys_order, ctx.batch_no, points, trials_mat
+                )
+        for row_i, (key, raw) in enumerate(per_group.items()):
             values: dict[str, object] = {}
             for gi, col_name in enumerate(self.group_by):
                 values[col_name] = key[gi]
             for spec in self.specs:
                 point, trials = raw[spec.name]  # type: ignore[misc]
-                vrange = ctx.monitor.observe(
-                    (self.block_id, key, spec.name), ctx.batch_no, float(point), trials
-                )
+                if batched_ranges is not None:
+                    vrange = batched_ranges[spec.name][row_i]
+                else:
+                    vrange = ctx.monitor.observe(
+                        (self.block_id, key, spec.name),
+                        ctx.batch_no,
+                        float(point),
+                        trials,
+                    )
                 if width_hist is not None and vrange is not None:
                     width_hist.observe(vrange.width)
                 values[spec.name] = UncertainValue(

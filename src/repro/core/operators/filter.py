@@ -117,22 +117,32 @@ class UncertainFilterOp(SpineOp):
         rel: Relation,
         combined: ClassifyResult,
         per_conjunct: list[ClassifyResult],
+        ctx: RuntimeContext,
     ) -> None:
         """Guard every permanent action with a sentinel (see sentinels.py).
 
         Emitted rows needed ALL conjuncts stably true; dropped rows needed
         the specific conjuncts that were stably false."""
+        vectorize = ctx.config.vectorize
         emitted = np.flatnonzero(combined.status == TRUE)
         dropped = combined.status == FALSE
         for idx, res in enumerate(per_conjunct):
             if len(emitted):
                 self.sentinels.record(
-                    idx, rel, emitted, np.ones(len(emitted), dtype=bool)
+                    idx,
+                    rel,
+                    emitted,
+                    np.ones(len(emitted), dtype=bool),
+                    vectorize=vectorize,
                 )
             conj_false = np.flatnonzero(dropped & (res.status == FALSE))
             if len(conj_false):
                 self.sentinels.record(
-                    idx, rel, conj_false, np.zeros(len(conj_false), dtype=bool)
+                    idx,
+                    rel,
+                    conj_false,
+                    np.zeros(len(conj_false), dtype=bool),
+                    vectorize=vectorize,
                 )
 
     def _apply_det(self, rel: Relation) -> Relation:
@@ -165,13 +175,13 @@ class UncertainFilterOp(SpineOp):
         self.sentinels.check(ctx)
 
         res_new, per_new = self._classify(new_rows, ctx)
-        self._record_sentinels(new_rows, res_new, per_new)
+        self._record_sentinels(new_rows, res_new, per_new, ctx)
 
         store = self.nd_store if self.nd_store is not None else self.empty(ctx)
         ctx.metrics.recomputed_tuples += len(store) + len(vol_in)
         if len(store):
             res_old, per_old = self._classify(store, ctx)
-            self._record_sentinels(store, res_old, per_old)
+            self._record_sentinels(store, res_old, per_old, ctx)
         else:
             res_old = None
 

@@ -16,6 +16,10 @@ from repro.core.operators.base import (
 )
 from repro.core.sentinels import MembershipSentinels
 from repro.core.values import LineageRef
+from repro.kernels.codec import factorize_keys
+from repro.kernels.joins import SideIndex, vectorized_join
+from repro.kernels.stats import STATS
+from repro.kernels.views import GroupTable, group_table
 from repro.relational.evaluator import join_relations
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -26,13 +30,17 @@ class StaticJoinOp(SpineOp):
 
     The paper's JOIN state rule: when only the fact table is streamed, the
     operator state is just the dimension side, kept in memory from batch 1
-    (and reported as join state for the Figure 9(b) accounting).
+    (and reported as join state for the Figure 9(b) accounting). With the
+    vectorized kernels the dimension side's hash index is built once into
+    the state store ("side_index", accounted in state bytes) and reused
+    every batch.
     """
 
     #: The paper's JOIN state rule with a certain side: state is exactly
-    #: the broadcast dimension side; no non-deterministic set can arise.
+    #: the broadcast dimension side (plus its derived hash index); no
+    #: non-deterministic set can arise.
     tag_rule = TagRule(consumes_uncertain="forbidden")
-    state_rule = StateRule(frozenset({"side", "announced"}))
+    state_rule = StateRule(frozenset({"side", "side_index", "announced"}))
 
     def __init__(
         self,
@@ -53,8 +61,10 @@ class StaticJoinOp(SpineOp):
     def _init_state(self) -> None:
         # The broadcast side is immutable configuration, but it *is* the
         # operator's state footprint, so it lives in the store (as a
-        # static entry: accounted, checkpointed by reference).
+        # static entry: accounted, checkpointed by reference). The derived
+        # hash index is built lazily on the first vectorized join.
         self.state.put("side", self.side, static=True)
+        self.state.put("side_index", None, static=True)
         self.state.put("announced", False)
 
     def process(self, delta: DeltaBatch, ctx: RuntimeContext) -> DeltaBatch:
@@ -62,13 +72,34 @@ class StaticJoinOp(SpineOp):
             # Broadcasting the dimension table is a one-time shipping cost.
             ctx.metrics.shipped_bytes += self.side.estimated_bytes()
             self.state.put("announced", True)
-        return DeltaBatch(self._join(delta.certain), self._join(delta.volatile))
+        return DeltaBatch(
+            self._join(delta.certain, ctx), self._join(delta.volatile, ctx)
+        )
 
-    def _join(self, rel: Relation) -> Relation:
+    def _side_index(self) -> SideIndex:
+        """Cross-batch cached hash index over the dimension side."""
+        index = self.state.get("side_index")
+        if index is None:
+            STATS.inc("side_index_misses")
+            index = SideIndex(self.side, [rk for _, rk in self.keys])
+            self.state.put("side_index", index, static=True)
+        else:
+            STATS.inc("side_index_hits")
+        return index
+
+    def _join(self, rel: Relation, ctx: RuntimeContext) -> Relation:
         if self.stream_is_left:
+            if ctx.config.vectorize and self.keys:
+                return vectorized_join(rel, self.side, self.keys, self._side_index())
             return join_relations(rel, self.side, self.keys)
         flipped = [(rk, lk) for lk, rk in self.keys]
-        joined = join_relations(self.side, rel, flipped)
+        if ctx.config.vectorize and self.keys:
+            # Stream on the probe side: the per-batch index is over the
+            # stream delta, so there is nothing to cache — but the build
+            # and probe are still vectorized.
+            joined = vectorized_join(self.side, rel, flipped)
+        else:
+            joined = join_relations(self.side, rel, flipped)
         return _reorder_columns(joined, self.schema)
 
 
@@ -151,6 +182,38 @@ class UncertainJoinOp(SpineOp):
             return [() for _ in range(len(rel))]
         return rel.key_tuples(self.stream_keys)
 
+    def _probe_table(
+        self, rel: Relation, view: BlockOutput | None
+    ) -> tuple[object, GroupTable | None, np.ndarray | None]:
+        """Factorize stream keys and probe the side view once per
+        *distinct* key: ``(codes, table, slot-per-distinct-key)``."""
+        kc = factorize_keys(rel, self.stream_keys)
+        if view is None:
+            return kc, None, None
+        table = group_table(view)
+        return kc, table, table.probe(kc.keys)
+
+    def _attach_coded(
+        self, rel: Relation, table: GroupTable | None, slot_rows: np.ndarray
+    ) -> Relation:
+        """Vectorized :meth:`_attach`: gather side columns from the group
+        table's per-column pools instead of filling row by row."""
+        n = len(rel)
+        cols = dict(rel.columns)
+        for name, is_uncertain in self.attach_cols:
+            if n == 0:
+                dtype = (
+                    np.dtype(object) if is_uncertain else self.schema.type_of(name).dtype
+                )
+                cols[name] = np.empty(0, dtype=dtype)
+            elif is_uncertain:
+                cols[name] = table.ref_pool(self.side_id, name, LineageRef)[slot_rows]
+            else:
+                cols[name] = table.value_pool(name, self.schema.type_of(name).dtype)[
+                    slot_rows
+                ]
+        return Relation(self.schema, cols, rel.mult, rel.trial_mults)
+
     def _attach(self, rel: Relation, groups: list[GroupValue]) -> Relation:
         """Append side columns for rows whose group is known."""
         n = len(rel)
@@ -182,6 +245,8 @@ class UncertainJoinOp(SpineOp):
         n = len(rel)
         if n == 0:
             return self._empty_out(ctx), self._empty_out(ctx), rel
+        if ctx.config.vectorize:
+            return self._partition_new_vec(rel, view, record)
         keys = self._keys_of(rel)
         status = np.empty(n, dtype=np.int8)
         groups: list[GroupValue | None] = [None] * n
@@ -211,12 +276,51 @@ class UncertainJoinOp(SpineOp):
         )
         return certain_out, nd, rel.filter(waiting)
 
+    def _partition_new_vec(
+        self, rel: Relation, view: BlockOutput | None, record: bool
+    ) -> tuple[Relation, Relation, Relation]:
+        """Vectorized :meth:`_partition_new` body: one view probe per
+        distinct key, then status/slot gathers."""
+        kc, table, slots_u = self._probe_table(rel, view)
+        if table is None or not len(table.status):
+            status_u = np.full(kc.num_keys, PENDING, dtype=np.int8)
+            slots_u = np.full(kc.num_keys, -1, dtype=np.intp)
+        else:
+            status_u = np.where(
+                slots_u < 0, np.int8(PENDING), table.status[np.maximum(slots_u, 0)]
+            ).astype(np.int8, copy=False)
+        if record:
+            # Sentinel recording is setdefault-idempotent and keyed by
+            # group, so once per distinct key matches once per row.
+            for u in np.flatnonzero(status_u == TRUE):
+                self.member_sentinels.record(kc.keys[u], True)
+            for u in np.flatnonzero(status_u == FALSE):
+                self.member_sentinels.record(kc.keys[u], False)
+        status = status_u[kc.codes]
+        slots = slots_u[kc.codes]
+        sure = status == TRUE
+        unknown = status == UNKNOWN
+        waiting = status == PENDING
+        certain_out = self._attach_coded(rel.filter(sure), table, slots[sure])
+        nd = self._attach_coded(rel.filter(unknown), table, slots[unknown])
+        return certain_out, nd, rel.filter(waiting)
+
     def _volatile_of(self, rel: Relation, ctx: RuntimeContext) -> Relation:
         """Current contribution of attached-but-unresolved rows."""
         view = ctx.blocks.get(self.side_id)
         n = len(rel)
         if n == 0 or view is None:
             return self._empty_out(ctx)
+        if ctx.config.vectorize:
+            kc, table, slots_u = self._probe_table(rel, view)
+            slots = slots_u[kc.codes]
+            present = slots >= 0
+            point = np.zeros(n, dtype=bool)
+            trials = np.zeros((n, ctx.num_trials), dtype=bool)
+            if len(table.status) and present.any():
+                point[present] = table.member_point[slots[present]]
+                trials[present] = table.exist_matrix(ctx.num_trials)[slots[present]]
+            return mask_contribution(rel, (point, trials))
         keys = self._keys_of(rel)
         point = np.zeros(n, dtype=bool)
         trials = np.zeros((n, ctx.num_trials), dtype=bool)
@@ -271,20 +375,36 @@ class UncertainJoinOp(SpineOp):
                 nd_old.filter(keep), [g for g in groups if g is not None]
             )
         if len(nd_old) and view is not None:
-            keys = self._keys_of(nd_old)
-            status = np.empty(len(nd_old), dtype=np.int8)
-            for i, key in enumerate(keys):
-                group = view.get(key)
-                if group is None:
-                    status[i] = UNKNOWN
-                elif group.certainly_in:
-                    status[i] = TRUE
-                    self.member_sentinels.record(key, True)
-                elif group.certainly_out:
-                    status[i] = FALSE
-                    self.member_sentinels.record(key, False)
+            if ctx.config.vectorize:
+                kc, table, slots_u = self._probe_table(nd_old, view)
+                if table is None or not len(table.status):
+                    status_u = np.full(kc.num_keys, UNKNOWN, dtype=np.int8)
                 else:
-                    status[i] = UNKNOWN
+                    status_u = np.where(
+                        slots_u < 0,
+                        np.int8(UNKNOWN),
+                        table.status[np.maximum(slots_u, 0)],
+                    ).astype(np.int8, copy=False)
+                for u in np.flatnonzero(status_u == TRUE):
+                    self.member_sentinels.record(kc.keys[u], True)
+                for u in np.flatnonzero(status_u == FALSE):
+                    self.member_sentinels.record(kc.keys[u], False)
+                status = status_u[kc.codes]
+            else:
+                keys = self._keys_of(nd_old)
+                status = np.empty(len(nd_old), dtype=np.int8)
+                for i, key in enumerate(keys):
+                    group = view.get(key)
+                    if group is None:
+                        status[i] = UNKNOWN
+                    elif group.certainly_in:
+                        status[i] = TRUE
+                        self.member_sentinels.record(key, True)
+                    elif group.certainly_out:
+                        status[i] = FALSE
+                        self.member_sentinels.record(key, False)
+                    else:
+                        status[i] = UNKNOWN
             certain_new = certain_new.concat(nd_old.filter(status == TRUE))
             nd_old = nd_old.filter(status == UNKNOWN)
         self.nd_store = nd_old.concat(nd_new)

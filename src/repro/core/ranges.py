@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.values import VariationRange
+from repro.kernels.ranges import batched_range_bounds
 
 #: Identifies one uncertain cell: (block id, group key tuple, column name).
 CellKey = tuple[int, tuple, str]
@@ -63,6 +64,33 @@ class RangeMonitor:
             fresh = VariationRange(min(fresh.lo, value), max(fresh.hi, value))
         self._current[key] = fresh
         return fresh
+
+    def observe_batch(
+        self,
+        block_id: int,
+        column: str,
+        keys: list[tuple],
+        batch_no: int,
+        points: np.ndarray,
+        trials: np.ndarray,
+    ) -> list[VariationRange]:
+        """Vectorized :meth:`observe` over every group of one column.
+
+        ``points`` is ``(G,)`` and ``trials`` is ``(G, T)``; entry ``i``
+        publishes cell ``(block_id, keys[i], column)``. Produces the exact
+        ranges the per-cell loop would (see
+        :func:`repro.kernels.ranges.batched_range_bounds`), amortizing the
+        NumPy reduction overhead across the whole group column.
+        """
+        if not self.enabled or self.replaying:
+            return [VariationRange.everything()] * len(keys)
+        lo, hi = batched_range_bounds(points, trials, self.slack)
+        out = []
+        for i, key in enumerate(keys):
+            fresh = VariationRange(float(lo[i]), float(hi[i]))
+            self._current[(block_id, key, column)] = fresh
+            out.append(fresh)
+        return out
 
     def range_for(self, key: CellKey) -> VariationRange:
         if not self.enabled or self.replaying:

@@ -93,11 +93,15 @@ class SentinelStore:
         rel,
         row_indices: np.ndarray,
         expected: np.ndarray,
+        vectorize: bool = False,
     ) -> None:
         """Record sentinels for rows just resolved by conjunct ``conjunct_idx``.
 
         ``row_indices`` are positions in ``rel``; ``expected`` the resolved
-        boolean per row.
+        boolean per row. With ``vectorize=True``, ordered comparisons fold
+        the batch per entity with array min/max before touching the dicts
+        (bit-identical: min/max folds commute, and entity equality is by
+        value either way).
         """
         det_expr, unc_expr, cols = self._sides[conjunct_idx]
         store = self._per_conjunct[conjunct_idx]
@@ -108,6 +112,17 @@ class SentinelStore:
             if det_expr is not None
             else None
         )
+        if (
+            vectorize
+            and det_values is not None
+            and op in ("<", "<=", ">", ">=")
+            and len(row_indices)
+            # Python's min/max are order-sensitive under NaN; keep the
+            # sequential reference fold there.
+            and not np.isnan(det_values[row_indices]).any()
+        ):
+            self._record_batched(store, op, rel, row_indices, expected, cols, det_values)
+            return
         columns = {c: rel.columns[c] for c in cols}
         for i, exp in zip(row_indices, expected):
             entity = tuple(columns[c][i] for c in cols)
@@ -120,6 +135,58 @@ class SentinelStore:
                 side[entity] = _tighter(op, bool(exp), side[entity], d)
             else:
                 side[entity] = d
+
+    def _record_batched(
+        self,
+        store: _ConjunctSentinels,
+        op: str,
+        rel,
+        row_indices: np.ndarray,
+        expected: np.ndarray,
+        cols: list[str],
+        det_values: np.ndarray,
+    ) -> None:
+        """Fold one batch per (entity, direction) before the dict merge."""
+        idx = np.asarray(row_indices, dtype=np.intp)
+        m = len(idx)
+        exp = np.asarray(expected, dtype=bool)
+        cell_cols = [np.asarray(rel.columns[c], dtype=object)[idx] for c in cols]
+        # Entity codes by cell identity. Equal-but-distinct cells land in
+        # different codes; the dict merge below re-unifies them by value,
+        # and min/max folds commute, so the result is unchanged.
+        codes = np.zeros(m, dtype=np.intp)
+        for arr in cell_cols:
+            ids = np.frompyfunc(id, 1, 1)(arr).astype(np.int64)
+            _, inv = np.unique(ids, return_inverse=True)
+            inv = inv.reshape(m).astype(np.intp, copy=False)
+            radix = int(inv.max()) + 1
+            _, codes = np.unique(codes * radix + inv, return_inverse=True)
+            codes = codes.reshape(m).astype(np.intp, copy=False)
+        num = int(codes.max()) + 1
+        d = det_values[idx]
+        for flag, side in ((True, store.true_side), (False, store.false_side)):
+            mask = exp if flag else ~exp
+            if not mask.any():
+                continue
+            sub_codes = codes[mask]
+            sub_rows = np.flatnonzero(mask)
+            use_min = (op in (">", ">=")) == flag
+            fold = np.full(num, np.inf if use_min else -np.inf)
+            (np.minimum if use_min else np.maximum).at(fold, sub_codes, d[mask])
+            first = np.full(num, m, dtype=np.intp)
+            np.minimum.at(first, sub_codes, sub_rows)
+            present = np.unique(sub_codes)
+            for code in present[np.argsort(first[present], kind="stable")]:
+                row = first[code]
+                entity = tuple(col[row] for col in cell_cols)
+                store.ref_rows.setdefault(
+                    entity, {c: col[row] for c, col in zip(cols, cell_cols)}
+                )
+                value = float(fold[code])
+                if entity in side:
+                    side[entity] = _tighter(op, flag, side[entity], value)
+                else:
+                    side[entity] = value
 
     # -- checking -------------------------------------------------------------------
 

@@ -100,10 +100,13 @@ class AggBundle:
             return
         local_keys, local_gids = group_ids(rel, list(group_by))
         gids = self._ensure_groups(local_keys)[local_gids]
+        # Deterministic-mult batches never materialize the (n, T) copy:
+        # the broadcast view is read-only, and every use below either
+        # reduces over it or fancy-indexes (which copies).
         trial_w = (
             rel.trial_mults
             if rel.trial_mults is not None
-            else np.repeat(rel.mult[:, None], self.num_trials, axis=1)
+            else np.broadcast_to(rel.mult[:, None], (len(rel), self.num_trials))
         )
         np.add.at(self.weight, gids, rel.mult)
         np.add.at(self.trial_weight, gids, trial_w)
@@ -140,6 +143,34 @@ class AggBundle:
         np.add.at(
             self.trial_sums[spec_index],
             gids,
+            (trial_values * trial_mults)[:, :, None],
+        )
+
+    def fold_values_coded(
+        self,
+        keys: Sequence[GroupKey],
+        gids: np.ndarray,
+        spec_index: int,
+        values: np.ndarray,
+        trial_values: np.ndarray,
+        mult: np.ndarray,
+        trial_mults: np.ndarray,
+    ) -> None:
+        """Vectorized :meth:`fold_values`: rows arrive pre-factorized.
+
+        ``keys`` lists the distinct group keys in first-appearance order
+        and ``gids`` codes each row into that list (the key codec's
+        output), replacing the per-row dict probe. Accumulation order is
+        identical to :meth:`fold_values`, so the sums are bit-identical.
+        """
+        base = self._ensure_groups(list(keys))
+        g = base[gids] if len(base) else np.zeros(0, dtype=np.intp)
+        np.add.at(self.weight, g, mult)
+        np.add.at(self.trial_weight, g, trial_mults)
+        np.add.at(self.sums[spec_index], g, (values * mult)[:, None])
+        np.add.at(
+            self.trial_sums[spec_index],
+            g,
             (trial_values * trial_mults)[:, :, None],
         )
 

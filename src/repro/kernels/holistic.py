@@ -1,0 +1,70 @@
+"""Sort-based grouped reductions for the holistic aggregate path.
+
+The online AGGREGATE recomputes non-decomposable aggregates per group per
+bootstrap trial each batch — the reference loops ``for j in range(T)``
+over ``compute(values[ix], trial_w[ix, j])`` for every group. For
+selection-based aggregates (quantiles), one stable sort of the group's
+values plus a cumulative sum over the whole ``(n, T)`` trial-weight
+matrix answers all trials at once.
+
+Bit-identity note: :func:`weighted_quantile` and
+:func:`weighted_quantile_trials` share the same formulation — the chosen
+element index is ``count(cumsum(w) < q·total)`` over stably-sorted values
+— so the per-trial vector equals the scalar function applied per trial
+column exactly, down to float accumulation order (``total`` is the last
+cumulative sum, not a separate ``sum()``, because NumPy's pairwise
+``sum`` may differ from ``cumsum`` in the last bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def grouped_indices(codes: np.ndarray, num_groups: int) -> list[np.ndarray]:
+    """Row indices per group id, each ascending.
+
+    Equivalent to the reference's ``by_group`` dict of row-index lists
+    when ``codes`` follow first-appearance order: iterating group ids
+    ``0..G-1`` visits groups in dict insertion order, and the stable sort
+    keeps every group's rows ascending.
+    """
+    if num_groups == 0:
+        return []
+    order = np.argsort(codes, kind="stable")
+    counts = np.bincount(codes, minlength=num_groups)
+    return np.split(order, np.cumsum(counts[:-1]))
+
+
+def weighted_quantile(values: np.ndarray, weights: np.ndarray, q: float) -> float:
+    """Weighted q-quantile: smallest value whose cumulative weight
+    reaches ``q`` times the total weight."""
+    v = np.asarray(values, dtype=np.float64)
+    if len(v) == 0:
+        return float("nan")
+    w = np.asarray(weights, dtype=np.float64)
+    order = np.argsort(v, kind="stable")
+    cum = np.cumsum(w[order])
+    total = cum[-1]
+    if not total > 0.0:
+        return float("nan")
+    idx = int(np.count_nonzero(cum < q * total))
+    return float(v[order[min(idx, len(v) - 1)]])
+
+
+def weighted_quantile_trials(
+    values: np.ndarray, trial_weights: np.ndarray, q: float
+) -> np.ndarray:
+    """Per-trial weighted q-quantiles: (T,) — one sort for all trials."""
+    v = np.asarray(values, dtype=np.float64)
+    t = trial_weights.shape[1]
+    if len(v) == 0:
+        return np.full(t, np.nan)
+    order = np.argsort(v, kind="stable")
+    vs = v[order]
+    cum = np.cumsum(np.asarray(trial_weights, dtype=np.float64)[order], axis=0)
+    totals = cum[-1]
+    idx = np.minimum((cum < q * totals[None, :]).sum(axis=0), len(vs) - 1)
+    out = vs[idx]
+    out = np.where(totals > 0.0, out, np.nan)
+    return out

@@ -1,0 +1,50 @@
+"""Kernel cache counters, surfaced through the obs metrics registry.
+
+The counters answer the "where does the time go" question for the
+vectorized hot paths: how often the per-relation key codec and the
+per-block-output group tables were rebuilt versus reused, and whether the
+static join's dimension index was actually cached across batches. The
+controller samples :func:`snapshot` into gauges once per batch, so
+``iolap report`` shows them next to the operator timings.
+
+Counters are process-global (the caches they describe are too) and
+monotonic; :func:`reset` exists for tests and benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class KernelStats:
+    """Thread-safe hit/miss counters for the kernel-layer caches."""
+
+    _FIELDS = (
+        "codec_hits",
+        "codec_misses",
+        "view_table_hits",
+        "view_table_misses",
+        "side_index_hits",
+        "side_index_misses",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {name: 0 for name in self._FIELDS}
+
+    def inc(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += by
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def reset(self) -> None:
+        with self._lock:
+            for name in self._counts:
+                self._counts[name] = 0
+
+
+#: Process-global counters; the kernel caches below feed these.
+STATS = KernelStats()

@@ -78,6 +78,21 @@ class AggregateFunction:
             sums = np.zeros(0)
         return float(self.finalize(sums, np.asarray(weights.sum())))
 
+    def trial_compute(self, values: np.ndarray, trial_weights: np.ndarray) -> np.ndarray:
+        """Evaluate all bootstrap trials of one group: (T,) results.
+
+        ``trial_weights`` is the (n, T) per-trial multiplicity matrix. The
+        default evaluates :meth:`compute` per trial column — the row-wise
+        reference. Selection-based aggregates override this with a
+        sort-once kernel (see :mod:`repro.kernels.holistic`); overrides
+        must stay bit-identical to this loop.
+        """
+        t = trial_weights.shape[1]
+        out = np.empty(t)
+        for j in range(t):
+            out[j] = self.compute(values, trial_weights[:, j])
+        return out
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"
 
@@ -203,6 +218,43 @@ class Max(AggregateFunction):
         return float(live.max()) if len(live) else math.nan
 
 
+class Quantile(AggregateFunction):
+    """Weighted ``q``-quantile (MEDIAN, P90, ...) — a holistic aggregate.
+
+    Non-decomposable (forces the online AGGREGATE's row store) but
+    Hadamard differentiable, so the bootstrap error estimates remain
+    valid (Section 3.3 covers sample quantiles). The per-trial path is
+    the sort-based kernel: one stable sort of the group's values answers
+    every bootstrap trial, instead of ``T`` independent ``compute`` calls.
+    """
+
+    decomposable = False
+    scales_with_m = False
+
+    def __init__(self, q: float, name: str | None = None):
+        if not 0.0 < q <= 1.0:
+            raise ExpressionError(f"quantile fraction must be in (0, 1], got {q}")
+        self.q = q
+        self.name = name or f"p{round(q * 100):02d}"
+
+    def compute(self, values: np.ndarray, weights: np.ndarray) -> float:
+        from repro.kernels.holistic import weighted_quantile
+
+        return weighted_quantile(values, np.asarray(weights, dtype=np.float64), self.q)
+
+    def trial_compute(self, values: np.ndarray, trial_weights: np.ndarray) -> np.ndarray:
+        from repro.kernels.holistic import weighted_quantile_trials
+
+        return weighted_quantile_trials(values, trial_weights, self.q)
+
+
+class Median(Quantile):
+    """Weighted ``MEDIAN(x)`` — the 0.5 quantile."""
+
+    def __init__(self) -> None:
+        super().__init__(0.5, name="median")
+
+
 class DecomposableUDAF(AggregateFunction):
     """User-defined aggregate built from feature maps + a finalizer.
 
@@ -323,6 +375,17 @@ def geomean(arg: Expression | str, name: str | None = None) -> AggSpec:
     return AggSpec(name or "geomean", GeometricMean(), arg)
 
 
+def median(arg: Expression | str, name: str | None = None) -> AggSpec:
+    arg = Col(arg) if isinstance(arg, str) else arg
+    return AggSpec(name or "median", Median(), arg)
+
+
+def quantile(q: float, arg: Expression | str, name: str | None = None) -> AggSpec:
+    func = Quantile(q)
+    arg = Col(arg) if isinstance(arg, str) else arg
+    return AggSpec(name or func.name, func, arg)
+
+
 def min_(arg: Expression | str, name: str | None = None) -> AggSpec:
     arg = Col(arg) if isinstance(arg, str) else arg
     return AggSpec(name or "min", Min(), arg)
@@ -343,4 +406,8 @@ AGG_FUNCTIONS: dict[str, Callable[[], AggregateFunction]] = {
     "geomean": GeometricMean,
     "min": Min,
     "max": Max,
+    "median": Median,
+    "p90": lambda: Quantile(0.9),
+    "p95": lambda: Quantile(0.95),
+    "p99": lambda: Quantile(0.99),
 }

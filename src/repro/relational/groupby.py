@@ -6,6 +6,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.kernels.codec import factorize_arrays
 from repro.relational.relation import Relation
 
 #: A group key is the tuple of group-by column values (``()`` for scalar
@@ -34,9 +35,17 @@ def group_ids(rel: Relation, group_by: Sequence[str]) -> tuple[list[GroupKey], n
         rank[order] = np.arange(len(uniques))
         keys = [(uniques[g],) for g in order]
         return keys, rank[inverse]
+    arrays = [rel.column(name) for name in group_by]
+    factorized = factorize_arrays(arrays, n)
+    if factorized is not None:
+        codes, first_rows = factorized
+        keys = list(zip(*(a[first_rows].tolist() for a in arrays)))
+        return keys, codes
+    # Fallback for keys np.unique cannot order faithfully (NaN floats,
+    # unorderable objects): the dict reference.
     mapping: dict[GroupKey, int] = {}
     gids = np.empty(n, dtype=np.intp)
-    keys: list[GroupKey] = []
+    keys = []
     for i, key in enumerate(rel.key_tuples(group_by)):
         gid = mapping.get(key)
         if gid is None:

@@ -281,10 +281,11 @@ def _concat_trials(a: Relation, b: Relation) -> np.ndarray | None:
     if a.trial_mults is None and b.trial_mults is None:
         return None
     ta, tb = a.trial_mults, b.trial_mults
+    # Broadcast views, not materialized copies: vstack below copies anyway.
     if ta is None:
-        ta = np.repeat(a.mult[:, None], tb.shape[1], axis=1)
+        ta = np.broadcast_to(a.mult[:, None], (len(a.mult), tb.shape[1]))
     if tb is None:
-        tb = np.repeat(b.mult[:, None], ta.shape[1], axis=1)
+        tb = np.broadcast_to(b.mult[:, None], (len(b.mult), ta.shape[1]))
     if ta.shape[1] != tb.shape[1]:
         raise SchemaError(
             f"cannot concat relations with {ta.shape[1]} and {tb.shape[1]} trials"

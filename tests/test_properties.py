@@ -13,8 +13,17 @@ from hypothesis import strategies as st
 
 from repro.baselines import run_batch
 from repro.core import OnlineConfig, OnlineQueryEngine
+from repro.core.blocks import BlockOutput, GroupValue, RuntimeContext
+from repro.core.classify import evaluate_side
+from repro.core.values import LineageRef, UncertainValue, VariationRange
+from repro.kernels.codec import factorize_keys
+from repro.kernels.holistic import weighted_quantile, weighted_quantile_trials
+from repro.kernels.joins import vectorized_join
 from repro.relational import (
     Catalog,
+    ColumnType,
+    Relation,
+    Schema,
     avg,
     col,
     count,
@@ -24,8 +33,16 @@ from repro.relational import (
     stddev,
     sum_,
 )
+from repro.relational.aggregates import median
 from repro.relational.evaluator import aggregate_relation, join_relations
+from repro.relational.expressions import Col
 from tests.conftest import KX_SCHEMA
+from tests.test_kernels import (
+    assert_partials_identical,
+    assert_rel_identical,
+    keys_equal,
+    reference_codes,
+)
 
 fuzz = settings(
     max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
@@ -176,6 +193,174 @@ class TestOnlineEqualsBatchFuzzed:
         )
         exact = run_batch(plan, cat).relation
         assert self.run_online(plan, cat, seed, 5).bag_equal(exact, 3)
+
+
+class TestKernelsMatchReferenceFuzzed:
+    """Every vectorized kernel equals its row-wise reference on randomized
+    inputs, including the degenerate shapes the batch path rarely hits:
+    empty relations, single rows, NaN-bearing float keys, object/lineage
+    columns, and zero-multiplicity rows."""
+
+    def keyed(self, seed, n, groups, with_nan, zero_mult):
+        rng = np.random.default_rng(seed)
+        f = np.round(rng.normal(0, 5, n), 2)
+        if with_nan and n:
+            f[rng.integers(0, n, max(1, n // 7))] = np.nan
+        rel = relation_from_columns(
+            Schema([("k", ColumnType.INT), ("f", ColumnType.FLOAT)]),
+            k=rng.integers(0, groups, n),
+            f=f,
+        )
+        if zero_mult and n:
+            mult = rel.mult.copy()
+            mult[rng.integers(0, n, max(1, n // 5))] = 0.0
+            rel = rel.with_mult(mult, None)
+        return rel
+
+    @fuzz
+    @given(
+        st.integers(0, 10_000),
+        st.integers(0, 120),
+        st.integers(1, 6),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_codec_matches_dict_reference(self, seed, n, groups, with_nan, zero_mult):
+        rel = self.keyed(seed, n, groups, with_nan, zero_mult)
+        for names in (["k"], ["f"], ["k", "f"], []):
+            kc = factorize_keys(rel, names)
+            ref_keys, ref_codes = reference_codes(rel, names)
+            assert keys_equal(kc.keys, ref_keys), names
+            assert np.array_equal(kc.codes, ref_codes), names
+
+    @fuzz
+    @given(
+        st.integers(0, 10_000),
+        st.integers(0, 100),
+        st.integers(0, 25),
+        st.integers(1, 8),
+        st.booleans(),
+    )
+    def test_join_matches_reference(self, seed, n_left, n_right, groups, zero_mult):
+        rng = np.random.default_rng(seed)
+        left = self.keyed(seed, n_left, groups, False, zero_mult)
+        right = relation_from_columns(
+            Schema([("k2", ColumnType.INT), ("v", ColumnType.FLOAT)]),
+            k2=rng.integers(0, groups, n_right),
+            v=rng.normal(0, 1, n_right),
+        )
+        if n_left:
+            left = left.with_mult(
+                left.mult, rng.poisson(1.0, (n_left, 4)).astype(float)
+            )
+        assert_rel_identical(
+            vectorized_join(left, right, [("k", "k2")]),
+            join_relations(left, right, [("k", "k2")]),
+        )
+
+    @fuzz
+    @given(st.integers(0, 10_000), st.integers(0, 80), st.floats(0.05, 1.0))
+    def test_quantile_trials_match_scalar_loop(self, seed, n, q):
+        rng = np.random.default_rng(seed)
+        v = np.round(rng.normal(0, 10, n), 3)
+        tw = rng.poisson(1.0, (n, 7)).astype(float)
+        vec = weighted_quantile_trials(v, tw, q)
+        ref = np.array([weighted_quantile(v, tw[:, j], q) for j in range(7)])
+        assert np.array_equal(vec, ref, equal_nan=True)
+
+    @fuzz
+    @given(
+        st.integers(0, 10_000),
+        st.integers(0, 60),
+        st.integers(1, 5),
+        st.integers(0, 3),
+    )
+    def test_lineage_resolution_matches_reference(self, seed, n, keys, unpublished):
+        """Object/lineage columns: the batched resolver and the per-row
+        reference agree, including rows pending on unpublished groups."""
+        rng = np.random.default_rng(seed)
+        schema = Schema([("d", ColumnType.FLOAT), ("u", ColumnType.FLOAT)])
+        key_ids = rng.integers(0, keys + unpublished, n)
+        refs = np.empty(n, dtype=object)
+        for i in range(n):
+            refs[i] = LineageRef(1, (int(key_ids[i]),), "v")
+        rel = Relation(
+            schema, {"d": np.round(rng.normal(0, 3, n), 2), "u": refs}
+        )
+        trials_of = {k: rng.standard_normal(5).round(2) for k in range(keys)}
+        sides = []
+        for vectorize in (True, False):
+            ctx = RuntimeContext(
+                Catalog({}), "t", 100, OnlineConfig(num_trials=5, vectorize=vectorize)
+            )
+            ctx.batch_no = 1
+            out = BlockOutput(1, [], ["v"])
+            for k in range(keys):
+                value = float(10 + k)
+                uv = UncertainValue(
+                    value,
+                    value + trials_of[k],
+                    VariationRange(value - 2.0, value + 2.0),
+                    LineageRef(1, (k,), "v"),
+                )
+                out.publish(GroupValue((k,), {"v": uv}, True), is_new=True)
+            ctx.blocks[1] = out
+            expr = Col("u") * 0.5 + col("d")
+            sides.append(evaluate_side(expr, rel, {"u"}, ctx))
+        vec, ref = sides
+        assert np.array_equal(vec.lo, ref.lo, equal_nan=True)
+        assert np.array_equal(vec.hi, ref.hi, equal_nan=True)
+        assert np.array_equal(vec.point, ref.point, equal_nan=True)
+        assert np.array_equal(
+            np.asarray(vec.trial_matrix(5)),
+            np.asarray(ref.trial_matrix(5)),
+            equal_nan=True,
+        )
+        assert np.array_equal(vec.pending, ref.pending)
+        assert vec.refs == ref.refs
+
+
+class TestFullRunVectorizeFuzzed:
+    """Whole randomized runs: vectorize on/off yield bit-identical partial
+    results under both executors (the ND-heavy semijoin + holistic shape)."""
+
+    @fuzz
+    @given(
+        st.integers(0, 10_000),
+        st.integers(150, 500),
+        st.integers(2, 5),
+        st.sampled_from(["serial", "parallel"]),
+    )
+    def test_bit_identical_modes(self, seed, n, batches, executor):
+        rng = np.random.default_rng(seed)
+        cat = Catalog({"t": dataset(seed, n, 5)})
+        member = (
+            scan("t", KX_SCHEMA)
+            .aggregate(["k"], [sum_("x", "sx")])
+            .select(col("sx") > float(rng.uniform(100.0, 600.0)))
+            .project([("k2", col("k"))])
+        )
+        plan = (
+            scan("t", KX_SCHEMA)
+            .join(member, keys=[("k", "k2")])
+            .aggregate(["k"], [median("y", "my"), count("n")])
+        )
+        partials = {}
+        for vectorize in (True, False):
+            eng = OnlineQueryEngine(
+                cat,
+                "t",
+                OnlineConfig(num_trials=9, seed=seed, vectorize=vectorize),
+                executor=executor,
+            )
+            try:
+                partials[vectorize] = list(eng.run(plan, batches))
+            finally:
+                eng.executor.close()
+        assert partials[True], "no partial results"
+        assert_partials_identical(
+            partials[True], partials[False], f"fuzz seed={seed} {executor}"
+        )
 
 
 class TestBootstrapCoverage:
