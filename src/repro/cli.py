@@ -171,6 +171,19 @@ def build_parser() -> argparse.ArgumentParser:
         "vectorized kernels (iolap engine); results are bit-identical, "
         "only slower — an A/B lever for debugging and benchmarks",
     )
+    parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject deterministic faults (iolap engine): comma-separated "
+        "kind@batch[:target][*times] specs with kind in "
+        "{sentinel,batch,unit,checkpoint}, e.g. "
+        "'sentinel@16,unit@5:aggregate*2,checkpoint@12'; recovery must "
+        "still produce the fault-free answer",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="N",
+        help="take a recovery state checkpoint every N batches (iolap "
+        "engine; 0 disables, default: engine default)",
+    )
     _add_logging_flags(parser)
     return parser
 
@@ -396,9 +409,19 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     for flag, value in (("--metrics-out", args.metrics_out),
                         ("--trace-out", args.trace_out),
-                        ("--converge", args.converge)):
+                        ("--converge", args.converge),
+                        ("--faults", args.faults)):
         if value and args.engine != "iolap":
             log.error("%s requires --engine iolap", flag)
+            return 2
+
+    if args.faults is not None:
+        from repro.faults import parse_faults
+
+        try:
+            parse_faults(args.faults)
+        except ReproError as exc:
+            log.error("bad --faults spec: %s", exc)
             return 2
 
     if args.engine == "batch":
@@ -436,6 +459,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             seed=args.seed,
             verify=args.verify,
             vectorize=not args.no_vectorize,
+            faults=args.faults,
+            **(
+                {"checkpoint_interval": args.checkpoint_interval}
+                if args.checkpoint_interval is not None
+                else {}
+            ),
         ),
         executor=args.executor,
         obs=obs,

@@ -144,6 +144,30 @@ class OnlineConfig:
     #: snapshots per batch, cross-thread store-write detection). Purely
     #: observational — results are bit-identical to a non-verify run.
     verify: bool = False
+    #: Take a state checkpoint every N batches (Section 5.1 recovery):
+    #: failure recovery restores the newest checkpoint at or before the
+    #: failure's ``recover_from_batch`` and replays only the suffix. 0
+    #: disables periodic checkpoints (recovery replays from the pristine
+    #: pre-run snapshot, the pre-checkpoint behavior).
+    checkpoint_interval: int = 8
+    #: Ring-buffer capacity: at most this many checkpoints are retained
+    #: (oldest evicted first; the pristine baseline is kept separately).
+    checkpoint_keep: int = 4
+    #: Byte budget across retained checkpoints (``estimate_nbytes`` of
+    #: each snapshot); oldest checkpoints are evicted to stay under it.
+    checkpoint_budget_bytes: int = 256 * 1024 * 1024
+    #: Deterministic fault-injection plan: a spec string like
+    #: ``"sentinel@16,unit@5:aggregate*2,checkpoint@12"`` (see
+    #: :mod:`repro.faults`), an already-parsed ``FaultPlan``, or None
+    #: (no faults — the production setting).
+    faults: object = None
+    #: Executor retries per unit for transient failures (errors carrying
+    #: ``transient = True``, e.g. injected unit faults); anything else
+    #: propagates immediately.
+    unit_retry_attempts: int = 2
+    #: Base backoff seconds between unit retries (doubled per retry); 0
+    #: retries immediately (the test/benchmark setting).
+    unit_retry_backoff: float = 0.0
 
 
 class RuntimeContext:
@@ -185,6 +209,21 @@ class RuntimeContext:
         #: Observability session (tracer + metrics registry + event bus).
         #: The inert NULL_OBS by default; the engine attaches a real one.
         self.obs = NULL_OBS
+        #: Deterministic fault injector (``config.faults``), or None. The
+        #: operators and executors poke :meth:`fault` at their designated
+        #: injection points; with no plan configured that is one attribute
+        #: test per point.
+        self.faults = None
+        if config.faults:
+            from repro.faults import FaultInjector, as_plan
+
+            self.faults = FaultInjector(as_plan(config.faults))
+
+    def fault(self, point: str, label: str | None = None) -> None:
+        """Fault-injection hook: raises if an armed fault matches
+        ``point`` at the current batch (no-op without a fault plan)."""
+        if self.faults is not None:
+            self.faults.fire(point, self, label=label)
 
     def attach_obs(self, obs) -> None:
         """Install an observability session (and wire the verifier's
@@ -284,9 +323,16 @@ class RuntimeContext:
             return None
         return group.values.get(ref.column)
 
-    def reset_for_replay(self) -> None:
-        """Clear published block outputs before a recovery replay."""
+    def reset_for_replay(self, batch_no: int = 0, seen_rows: int = 0) -> None:
+        """Rewind the batch cursor before a recovery replay.
+
+        Published block outputs are dropped (the first replayed batch
+        republishes every block: producers run before consumers within a
+        batch); ``batch_no``/``seen_rows`` rewind to the restored
+        checkpoint's position so ``ctx.scale`` extrapolates correctly
+        through the replayed suffix.
+        """
         self.blocks.clear()
-        self.seen_rows = 0
-        self.batch_no = 0
+        self.seen_rows = seen_rows
+        self.batch_no = batch_no
         self._delta = None

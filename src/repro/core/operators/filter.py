@@ -134,6 +134,7 @@ class UncertainFilterOp(SpineOp):
                     emitted,
                     np.ones(len(emitted), dtype=bool),
                     vectorize=vectorize,
+                    batch_no=ctx.batch_no,
                 )
             conj_false = np.flatnonzero(dropped & (res.status == FALSE))
             if len(conj_false):
@@ -143,6 +144,7 @@ class UncertainFilterOp(SpineOp):
                     conj_false,
                     np.zeros(len(conj_false), dtype=bool),
                     vectorize=vectorize,
+                    batch_no=ctx.batch_no,
                 )
 
     def _apply_det(self, rel: Relation) -> Relation:
@@ -172,6 +174,7 @@ class UncertainFilterOp(SpineOp):
 
         # Integrity: every previously pruned decision must still hold for
         # the current estimates; a flip triggers failure recovery.
+        ctx.fault("sentinel", self.label)
         self.sentinels.check(ctx)
 
         res_new, per_new = self._classify(new_rows, ctx)

@@ -246,7 +246,7 @@ class UncertainJoinOp(SpineOp):
         if n == 0:
             return self._empty_out(ctx), self._empty_out(ctx), rel
         if ctx.config.vectorize:
-            return self._partition_new_vec(rel, view, record)
+            return self._partition_new_vec(rel, view, record, ctx.batch_no)
         keys = self._keys_of(rel)
         status = np.empty(n, dtype=np.int8)
         groups: list[GroupValue | None] = [None] * n
@@ -258,11 +258,11 @@ class UncertainJoinOp(SpineOp):
             elif group.certainly_in:
                 status[i] = TRUE
                 if record:
-                    self.member_sentinels.record(key, True)
+                    self.member_sentinels.record(key, True, batch_no=ctx.batch_no)
             elif group.certainly_out:
                 status[i] = FALSE
                 if record:
-                    self.member_sentinels.record(key, False)
+                    self.member_sentinels.record(key, False, batch_no=ctx.batch_no)
             else:
                 status[i] = UNKNOWN
         sure = status == TRUE
@@ -277,7 +277,11 @@ class UncertainJoinOp(SpineOp):
         return certain_out, nd, rel.filter(waiting)
 
     def _partition_new_vec(
-        self, rel: Relation, view: BlockOutput | None, record: bool
+        self,
+        rel: Relation,
+        view: BlockOutput | None,
+        record: bool,
+        batch_no: int = 0,
     ) -> tuple[Relation, Relation, Relation]:
         """Vectorized :meth:`_partition_new` body: one view probe per
         distinct key, then status/slot gathers."""
@@ -293,9 +297,9 @@ class UncertainJoinOp(SpineOp):
             # Sentinel recording is setdefault-idempotent and keyed by
             # group, so once per distinct key matches once per row.
             for u in np.flatnonzero(status_u == TRUE):
-                self.member_sentinels.record(kc.keys[u], True)
+                self.member_sentinels.record(kc.keys[u], True, batch_no=batch_no)
             for u in np.flatnonzero(status_u == FALSE):
-                self.member_sentinels.record(kc.keys[u], False)
+                self.member_sentinels.record(kc.keys[u], False, batch_no=batch_no)
         status = status_u[kc.codes]
         slots = slots_u[kc.codes]
         sure = status == TRUE
@@ -340,6 +344,7 @@ class UncertainJoinOp(SpineOp):
     def process(self, delta: DeltaBatch, ctx: RuntimeContext) -> DeltaBatch:
         view = ctx.blocks.get(self.side_id)
         # Integrity: previously resolved memberships must not have flipped.
+        ctx.fault("sentinel", self.label)
         self.member_sentinels.check(ctx, view)
 
         certain_new, nd_new, pending_new = self._partition_new(
@@ -386,9 +391,13 @@ class UncertainJoinOp(SpineOp):
                         table.status[np.maximum(slots_u, 0)],
                     ).astype(np.int8, copy=False)
                 for u in np.flatnonzero(status_u == TRUE):
-                    self.member_sentinels.record(kc.keys[u], True)
+                    self.member_sentinels.record(
+                        kc.keys[u], True, batch_no=ctx.batch_no
+                    )
                 for u in np.flatnonzero(status_u == FALSE):
-                    self.member_sentinels.record(kc.keys[u], False)
+                    self.member_sentinels.record(
+                        kc.keys[u], False, batch_no=ctx.batch_no
+                    )
                 status = status_u[kc.codes]
             else:
                 keys = self._keys_of(nd_old)
@@ -399,10 +408,14 @@ class UncertainJoinOp(SpineOp):
                         status[i] = UNKNOWN
                     elif group.certainly_in:
                         status[i] = TRUE
-                        self.member_sentinels.record(key, True)
+                        self.member_sentinels.record(
+                            key, True, batch_no=ctx.batch_no
+                        )
                     elif group.certainly_out:
                         status[i] = FALSE
-                        self.member_sentinels.record(key, False)
+                        self.member_sentinels.record(
+                            key, False, batch_no=ctx.batch_no
+                        )
                     else:
                         status[i] = UNKNOWN
             certain_new = certain_new.concat(nd_old.filter(status == TRUE))

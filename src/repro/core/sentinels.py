@@ -18,6 +18,17 @@ controller replays conservatively.
 This is the loosest sound check: it fails exactly when a pruned tuple's
 contribution to the current partial result would have changed, rather
 than whenever a range drifts.
+
+Recovery depth: each (entity, direction) keeps its monotone *tightening
+history* — the batch at which each successively tighter binding value was
+resolved. On a violation the store computes the earliest batch whose
+recorded decision flips under the current estimates; every strictly
+earlier decision still holds, so ``RangeIntegrityError.recover_from_batch``
+is that batch minus one and the controller only replays the suffix. The
+history suffices: a flipped decision that was folded away (looser than
+the staircase step active when it was recorded) implies the tighter step
+recorded at or before its batch flips too, so the minimum over the
+staircase is the true earliest flip.
 """
 
 from __future__ import annotations
@@ -36,14 +47,19 @@ from repro.relational.expressions import Comparison, Expression
 Entity = tuple
 
 
+#: One (entity, direction) tightening history: ``[(batch_no, det), ...]``
+#: in batch order, each entry strictly tighter than the previous.
+History = list
+
+
 @dataclass
 class _ConjunctSentinels:
     """Sentinels of one uncertain conjunct, keyed by entity."""
 
-    #: entity -> (tightest det value resolved TRUE, ref row)
-    true_side: dict[Entity, float] = field(default_factory=dict)
-    #: entity -> (tightest det value resolved FALSE, ref row)
-    false_side: dict[Entity, float] = field(default_factory=dict)
+    #: entity -> tightening history of det values resolved TRUE
+    true_side: dict[Entity, History] = field(default_factory=dict)
+    #: entity -> tightening history of det values resolved FALSE
+    false_side: dict[Entity, History] = field(default_factory=dict)
     #: entity -> ref cells by column (to re-evaluate the uncertain side)
     ref_rows: dict[Entity, dict[str, object]] = field(default_factory=dict)
 
@@ -57,6 +73,25 @@ def _tighter(op: str, expected: bool, old: float, new: float) -> float:
     if op in ("<", "<="):
         return max(old, new) if expected else min(old, new)
     return new  # ==/!=: keep the most recent
+
+
+def _push(op: str, expected: bool, hist: History, batch_no: int, value: float) -> None:
+    """Fold ``value`` into a tightening history, stamping the batch."""
+    if not hist:
+        hist.append((batch_no, value))
+        return
+    last_batch, last_value = hist[-1]
+    tight = _tighter(op, expected, last_value, value)
+    if tight == last_value:
+        return
+    if op in ("==", "!="):
+        # Equality sentinels guard only the most recent decision; the
+        # superseded history cannot flip independently of it.
+        hist[:] = [(batch_no, tight)]
+    elif last_batch == batch_no:
+        hist[-1] = (batch_no, tight)
+    else:
+        hist.append((batch_no, tight))
 
 
 class SentinelStore:
@@ -94,14 +129,17 @@ class SentinelStore:
         row_indices: np.ndarray,
         expected: np.ndarray,
         vectorize: bool = False,
+        batch_no: int = 0,
     ) -> None:
         """Record sentinels for rows just resolved by conjunct ``conjunct_idx``.
 
         ``row_indices`` are positions in ``rel``; ``expected`` the resolved
-        boolean per row. With ``vectorize=True``, ordered comparisons fold
-        the batch per entity with array min/max before touching the dicts
-        (bit-identical: min/max folds commute, and entity equality is by
-        value either way).
+        boolean per row; ``batch_no`` stamps the tightening history (used
+        to compute the recovery depth on a later flip). With
+        ``vectorize=True``, ordered comparisons fold the batch per entity
+        with array min/max before touching the dicts (bit-identical:
+        min/max folds commute, and entity equality is by value either
+        way).
         """
         det_expr, unc_expr, cols = self._sides[conjunct_idx]
         store = self._per_conjunct[conjunct_idx]
@@ -121,7 +159,9 @@ class SentinelStore:
             # sequential reference fold there.
             and not np.isnan(det_values[row_indices]).any()
         ):
-            self._record_batched(store, op, rel, row_indices, expected, cols, det_values)
+            self._record_batched(
+                store, op, rel, row_indices, expected, cols, det_values, batch_no
+            )
             return
         columns = {c: rel.columns[c] for c in cols}
         for i, exp in zip(row_indices, expected):
@@ -131,10 +171,7 @@ class SentinelStore:
             )
             d = float(det_values[i]) if det_values is not None else 0.0
             side = store.true_side if exp else store.false_side
-            if entity in side:
-                side[entity] = _tighter(op, bool(exp), side[entity], d)
-            else:
-                side[entity] = d
+            _push(op, bool(exp), side.setdefault(entity, []), batch_no, d)
 
     def _record_batched(
         self,
@@ -145,6 +182,7 @@ class SentinelStore:
         expected: np.ndarray,
         cols: list[str],
         det_values: np.ndarray,
+        batch_no: int,
     ) -> None:
         """Fold one batch per (entity, direction) before the dict merge."""
         idx = np.asarray(row_indices, dtype=np.intp)
@@ -183,15 +221,19 @@ class SentinelStore:
                     entity, {c: col[row] for c, col in zip(cols, cell_cols)}
                 )
                 value = float(fold[code])
-                if entity in side:
-                    side[entity] = _tighter(op, flag, side[entity], value)
-                else:
-                    side[entity] = value
+                _push(op, flag, side.setdefault(entity, []), batch_no, value)
 
     # -- checking -------------------------------------------------------------------
 
     def check(self, ctx: RuntimeContext) -> None:
-        """Re-evaluate all tightest sentinels against current estimates."""
+        """Re-evaluate all tightest sentinels against current estimates.
+
+        Skipped during a recovery replay: restored sentinels are known to
+        hold at the restore point, the replayed suffix prunes nothing, and
+        a raise here would escape the controller's recovery handler.
+        """
+        if ctx.monitor.replaying:
+            return
         tracer = ctx.obs.tracer
         if not tracer.enabled:
             self._check(ctx)
@@ -209,6 +251,10 @@ class SentinelStore:
                 raise
 
     def _check(self, ctx: RuntimeContext) -> None:
+        #: (recover_from_batch, reason) per violated (entity, direction);
+        #: collected exhaustively so one raise carries the deepest
+        #: (minimum) recovery point of the whole store.
+        violations: list[tuple[int, str]] = []
         for idx, store in enumerate(self._per_conjunct):
             if not store.ref_rows:
                 continue
@@ -220,17 +266,35 @@ class SentinelStore:
                     (True, store.true_side),
                     (False, store.false_side),
                 ):
-                    if entity not in side:
+                    hist = side.get(entity)
+                    if not hist:
                         continue
                     if resolved is None:
-                        raise self._violation(ctx, "entity vanished")
-                    outcome = self._evaluate(cmp_, det_expr, side[entity], resolved)
-                    if outcome != expected:
-                        raise self._violation(
-                            ctx,
-                            f"resolved decision flipped: {cmp_!r} expected "
-                            f"{expected} for det value {side[entity]!r}",
-                        )
+                        violations.append((
+                            max(hist[0][0] - 1, 0),
+                            f"entity vanished (first resolved at batch "
+                            f"{hist[0][0]})",
+                        ))
+                        continue
+                    # The tightest (latest) entry flips first: if it still
+                    # holds, every looser entry of the staircase does too.
+                    tight = hist[-1][1]
+                    if self._evaluate(cmp_, det_expr, tight, resolved) == expected:
+                        continue
+                    flipped = [
+                        batch
+                        for batch, det in hist
+                        if self._evaluate(cmp_, det_expr, det, resolved) != expected
+                    ]
+                    first = min(flipped)
+                    violations.append((
+                        max(first - 1, 0),
+                        f"resolved decision flipped: {cmp_!r} expected "
+                        f"{expected} for det value {tight!r} (earliest flip "
+                        f"resolved at batch {first})",
+                    ))
+        if violations:
+            raise self._violation(ctx, violations)
 
     def _resolve_row(
         self, refs: dict[str, object], ctx: RuntimeContext
@@ -262,11 +326,18 @@ class SentinelStore:
             return bool(_compare(cmp_.op, det_value, unc))
         return bool(_compare(cmp_.op, unc, det_value))
 
-    def _violation(self, ctx: RuntimeContext, reason: str) -> RangeIntegrityError:
+    def _violation(
+        self, ctx: RuntimeContext, violations: list[tuple[int, str]]
+    ) -> RangeIntegrityError:
         ctx.monitor.record_failure()
+        recover_from = min(batch for batch, _ in violations)
+        reason = violations[0][1]
+        if len(violations) > 1:
+            reason += f" (+{len(violations) - 1} more)"
         return RangeIntegrityError(
-            f"sentinel violation at batch {ctx.batch_no}: {reason}",
-            recover_from_batch=0,
+            f"sentinel violation at batch {ctx.batch_no}: {reason}; "
+            f"state is consistent through batch {recover_from}",
+            recover_from_batch=recover_from,
         )
 
     def reset(self) -> None:
@@ -275,7 +346,9 @@ class SentinelStore:
     def estimated_bytes(self) -> int:
         total = 0
         for store in self._per_conjunct:
-            total += 64 * (len(store.true_side) + len(store.false_side))
+            for side in (store.true_side, store.false_side):
+                for hist in side.values():
+                    total += 40 + 24 * len(hist)
             total += 96 * len(store.ref_rows)
         return total
 
@@ -291,11 +364,18 @@ class MembershipSentinels:
 
     def __init__(self) -> None:
         self.expected: dict[tuple, bool] = {}
+        #: key -> batch at which the membership was first resolved; drives
+        #: ``recover_from_batch`` when the decision later flips.
+        self.resolved_at: dict[tuple, int] = {}
 
-    def record(self, key: tuple, member: bool) -> None:
-        self.expected.setdefault(key, member)
+    def record(self, key: tuple, member: bool, batch_no: int = 0) -> None:
+        if key not in self.expected:
+            self.expected[key] = member
+            self.resolved_at[key] = batch_no
 
     def check(self, ctx: RuntimeContext, view) -> None:
+        if ctx.monitor.replaying:
+            return
         tracer = ctx.obs.tracer
         if not tracer.enabled:
             self._check(ctx, view)
@@ -313,25 +393,39 @@ class MembershipSentinels:
                 raise
 
     def _check(self, ctx: RuntimeContext, view) -> None:
-        for key, expected in self.expected.items():
-            group = view.get(key) if view is not None else None
-            actual = group is not None and group.member_point
-            if actual != expected:
-                ctx.monitor.record_failure()
-                raise RangeIntegrityError(
-                    f"membership of group {key!r} flipped (expected "
-                    f"{expected}) at batch {ctx.batch_no}",
-                    recover_from_batch=0,
-                )
+        flipped = [
+            key
+            for key, expected in self.expected.items()
+            if (
+                view is not None
+                and (group := view.get(key)) is not None
+                and group.member_point
+            ) != expected
+        ]
+        if not flipped:
+            return
+        ctx.monitor.record_failure()
+        recover_from = min(
+            max(self.resolved_at.get(key, 0) - 1, 0) for key in flipped
+        )
+        key = min(flipped, key=lambda k: self.resolved_at.get(k, 0))
+        more = f" (+{len(flipped) - 1} more)" if len(flipped) > 1 else ""
+        raise RangeIntegrityError(
+            f"membership of group {key!r} flipped (expected "
+            f"{self.expected[key]}) at batch {ctx.batch_no}{more}; "
+            f"state is consistent through batch {recover_from}",
+            recover_from_batch=recover_from,
+        )
 
     def reset(self) -> None:
         self.expected.clear()
+        self.resolved_at.clear()
 
     def __len__(self) -> int:
         return len(self.expected)
 
     def estimated_bytes(self) -> int:
-        return 48 * len(self.expected)
+        return 56 * len(self.expected)
 
 
 def point_of_safe(value: object) -> float:

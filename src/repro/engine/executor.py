@@ -55,9 +55,9 @@ class SerialExecutor(BatchExecutor):
                 with tracer.span(
                     "unit", cat="exec", batch=ctx.batch_no, unit=unit.label
                 ):
-                    unit.run(ctx)
+                    _run_with_retry(unit, ctx)
             else:
-                unit.run(ctx)
+                _run_with_retry(unit, ctx)
             elapsed = time.perf_counter() - started
             ctx.metrics.add_op_seconds(unit.label, elapsed)
             ctx.metrics.unit_seconds += elapsed
@@ -207,9 +207,9 @@ def _run_unit(
     try:
         if buffer is not None:
             with tracer.span("unit", cat="exec", batch=ctx.batch_no, unit=unit.label):
-                unit.run(ctx)
+                _run_with_retry(unit, ctx)
         else:
-            unit.run(ctx)
+            _run_with_retry(unit, ctx)
         return None
     except BaseException as err:  # noqa: BLE001 — forwarded to the scheduler
         return err
@@ -220,6 +220,38 @@ def _run_unit(
         if buffer is not None:
             tracer.pop_buffer()
         ctx.pop_metrics()
+
+
+def _run_with_retry(unit: ExecutionUnit, ctx: RuntimeContext) -> None:
+    """Run one unit body, absorbing transient failures.
+
+    Only errors marked ``transient`` (:class:`~repro.errors.
+    TransientUnitError`) are retried, up to
+    ``OnlineConfig.unit_retry_attempts`` extra attempts with exponential
+    backoff; everything else propagates immediately. The ``unit`` fault
+    probe fires *before* the unit body, so a retried injected fault
+    re-runs the unit from an untouched slate — no store mutation is ever
+    applied twice. (A real transient error raised mid-body would need an
+    idempotent body; none of the built-in units raise those.)
+    """
+    retries = ctx.config.unit_retry_attempts
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            ctx.fault("unit", unit.label)
+            unit.run(ctx)
+            return
+        except BaseException as err:  # noqa: BLE001 — filtered on `transient`
+            if not getattr(err, "transient", False) or attempt > retries:
+                raise
+            ctx.obs.tracer.warning(
+                "unit-retry", batch=ctx.batch_no, unit=unit.label,
+                attempt=attempt, message=str(err),
+            )
+            backoff = ctx.config.unit_retry_backoff * (2 ** (attempt - 1))
+            if backoff > 0:
+                time.sleep(backoff)
 
 
 def make_executor(spec: str | BatchExecutor, max_workers: int | None = None) -> BatchExecutor:

@@ -60,9 +60,25 @@ class RangeIntegrityError(ReproError):
 
     def __init__(self, message: str, recover_from_batch: int = 0):
         super().__init__(message)
-        #: Last batch index whose published range still contains the new
-        #: range; recovery replays from ``recover_from_batch + 1``.
+        #: Last batch index whose resolved pruning decisions all still hold
+        #: for the current estimates (0 = none do). The controller restores
+        #: the newest state checkpoint taken at or before this batch and
+        #: replays only the batches after it.
         self.recover_from_batch = recover_from_batch
+
+
+class TransientUnitError(ReproError):
+    """A retryable failure inside one execution unit.
+
+    Raised before the unit body runs (fault injection, and the seam for
+    future transient backends), so re-running the unit is side-effect
+    safe. Executors retry errors carrying ``transient = True`` up to
+    ``OnlineConfig.unit_retry_attempts`` times with exponential backoff;
+    anything else propagates immediately.
+    """
+
+    #: Marks the error as safe to retry at the executor level.
+    transient = True
 
 
 class CatalogError(ReproError):

@@ -43,6 +43,25 @@ class BatchMetrics:
     #: Seconds spent inside the recovery replay (included in wall_seconds).
     recovery_seconds: float = 0.0
 
+    def reset_attempt(self) -> None:
+        """Discard the accumulators of a failed batch attempt.
+
+        When an integrity failure aborts a batch mid-execution, the
+        controller replays and re-runs the batch with the *same*
+        ``BatchMetrics``; without this reset the failed attempt's rows
+        in/out, shipped bytes, and per-unit timings double-count against
+        the successful attempt. ``recovered``/``recovery_seconds`` (the
+        failure happened; the replay cost is real) and ``wall_seconds``
+        (stamped once by the controller with the true batch elapsed time)
+        are deliberately preserved.
+        """
+        self.unit_seconds = 0.0
+        self.new_tuples = 0
+        self.recomputed_tuples = 0
+        self.shipped_bytes = 0
+        self.state_bytes = {}
+        self.op_seconds = {}
+
     def add_state(self, label: str, nbytes: int) -> None:
         self.state_bytes[label] = self.state_bytes.get(label, 0) + nbytes
 

@@ -1,0 +1,113 @@
+"""Unit tests for the recovery checkpoint ring buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.state import CheckpointManager, StateRegistry
+
+
+def make_registry(payload_rows: int = 10) -> StateRegistry:
+    reg = StateRegistry()
+    store = reg.store("op")
+    store.put("rows", np.arange(payload_rows, dtype=np.int64))
+    store.put("count", payload_rows)
+    return reg
+
+
+class TestSchedule:
+    def test_disabled_when_interval_zero(self):
+        mgr = CheckpointManager(0)
+        assert not mgr.enabled
+        assert not mgr.due(4)
+
+    def test_due_every_interval(self):
+        mgr = CheckpointManager(4)
+        assert [b for b in range(1, 13) if mgr.due(b)] == [4, 8, 12]
+
+    def test_take_records_cursor_and_bytes(self):
+        reg = make_registry()
+        mgr = CheckpointManager(2)
+        ckpt = mgr.take(reg, 2, seen_rows=123)
+        assert ckpt.batch_no == 2
+        assert ckpt.seen_rows == 123
+        assert ckpt.nbytes > 0
+        assert len(mgr) == 1 and mgr.taken == 1
+
+
+class TestRetention:
+    def test_keep_bound_evicts_oldest(self):
+        reg = make_registry()
+        mgr = CheckpointManager(1, keep=3)
+        for b in range(1, 6):
+            mgr.take(reg, b, seen_rows=b * 10)
+        assert mgr.batches() == [3, 4, 5]
+        assert mgr.evicted == 2
+
+    def test_byte_budget_evicts_oldest_but_keeps_newest(self):
+        reg = make_registry(payload_rows=100)
+        one = CheckpointManager(1).take(reg, 1, 0).nbytes
+        mgr = CheckpointManager(1, keep=10, budget_bytes=int(one * 2.5))
+        for b in range(1, 5):
+            mgr.take(reg, b, seen_rows=0)
+        assert mgr.batches() == [3, 4]
+        # The newest checkpoint always survives, even over budget.
+        tiny = CheckpointManager(1, keep=10, budget_bytes=1)
+        tiny.take(reg, 1, 0)
+        assert len(tiny) == 1
+
+
+class TestSelection:
+    def test_best_for_picks_newest_at_or_before(self):
+        reg = make_registry()
+        mgr = CheckpointManager(4, keep=8)
+        for b in (4, 8, 12):
+            mgr.take(reg, b, seen_rows=b)
+        assert mgr.best_for(15).batch_no == 12
+        assert mgr.best_for(12).batch_no == 12
+        assert mgr.best_for(11).batch_no == 8
+        assert mgr.best_for(3) is None
+
+    def test_corrupt_checkpoint_skipped_falls_back_older(self):
+        reg = make_registry()
+        mgr = CheckpointManager(4, keep=8)
+        for b in (4, 8, 12):
+            mgr.take(reg, b, seen_rows=b)
+        assert mgr.corrupt(12)
+        assert mgr.best_for(15).batch_no == 8
+
+    def test_corrupt_unknown_batch_is_noop(self):
+        mgr = CheckpointManager(4)
+        assert not mgr.corrupt(4)
+
+    def test_drop_after_discards_invalidated(self):
+        reg = make_registry()
+        mgr = CheckpointManager(4, keep=8)
+        for b in (4, 8, 12):
+            mgr.take(reg, b, seen_rows=b)
+        assert mgr.drop_after(8) == 1
+        assert mgr.batches() == [4, 8]
+
+
+class TestValidation:
+    def test_fresh_snapshot_validates(self):
+        reg = make_registry()
+        ckpt = CheckpointManager(1).take(reg, 1, 0)
+        assert CheckpointManager.validate(ckpt)
+
+    def test_corrupt_snapshot_fails_validation(self):
+        reg = make_registry()
+        mgr = CheckpointManager(1)
+        mgr.take(reg, 1, 0)
+        mgr.corrupt(1)
+        assert not CheckpointManager.validate(mgr._ring[0])
+
+    def test_restore_roundtrip(self):
+        reg = make_registry()
+        ckpt = CheckpointManager(1).take(reg, 1, seen_rows=10)
+        reg.store("op").put("count", 999)
+        reg.store("late")  # registered after the snapshot: must be cleared
+        reg.store("late").put("junk", [1, 2, 3])
+        reg.restore(ckpt.snapshot)
+        assert reg.store("op").get("count") == 10
+        assert reg.store("late").get("junk") is None

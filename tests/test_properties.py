@@ -378,3 +378,58 @@ class TestBootstrapCoverage:
         # examples; allow the interval to be sanity-wide instead of exact.
         assert lo < hi
         assert lo - (hi - lo) <= truth <= hi + (hi - lo)
+
+
+class TestRangeMonitorBatchedParity:
+    """``observe_batch`` must publish bit-identical ranges to the per-cell
+    ``observe`` loop it replaces — including the awkward inputs: NaN/±inf
+    point estimates and zero-variance (or non-finite) bootstrap trials."""
+
+    VALUES = st.one_of(
+        st.floats(min_value=-1e6, max_value=1e6),
+        st.sampled_from([np.nan, np.inf, -np.inf, 0.0, -0.0, 1e-300]),
+    )
+
+    @staticmethod
+    def assert_ranges_equal(got, want, where):
+        for name in ("lo", "hi"):
+            g, w = getattr(got, name), getattr(want, name)
+            assert g == w or (np.isnan(g) and np.isnan(w)), (
+                f"{where}: {name} {g!r} != {w!r}"
+            )
+
+    @fuzz
+    @given(st.data())
+    def test_observe_batch_matches_observe(self, data):
+        from repro.core.ranges import RangeMonitor
+
+        num_groups = data.draw(st.integers(1, 8), label="groups")
+        num_trials = data.draw(st.integers(1, 6), label="trials")
+        points = np.array(
+            [data.draw(self.VALUES) for _ in range(num_groups)], dtype=float
+        )
+        trials = np.empty((num_groups, num_trials), dtype=float)
+        for g in range(num_groups):
+            if data.draw(st.booleans(), label=f"const row {g}"):
+                trials[g, :] = data.draw(self.VALUES)  # zero variance
+            else:
+                trials[g, :] = [
+                    data.draw(self.VALUES) for _ in range(num_trials)
+                ]
+        slack = data.draw(st.sampled_from([0.0, 1.0, 2.0]), label="slack")
+
+        batched = RangeMonitor(slack=slack)
+        scalar = RangeMonitor(slack=slack)
+        keys = [(g,) for g in range(num_groups)]
+        got = batched.observe_batch(7, "v", keys, 1, points, trials)
+        for g, key in enumerate(keys):
+            want = scalar.observe(
+                (7, key, "v"), 1, float(points[g]), trials[g]
+            )
+            self.assert_ranges_equal(got[g], want, f"group {g}")
+            # The published (stored) range must agree too.
+            self.assert_ranges_equal(
+                batched.range_for((7, key, "v")),
+                scalar.range_for((7, key, "v")),
+                f"stored group {g}",
+            )

@@ -213,3 +213,151 @@ class TestMembershipSentinels:
         ms.record(("g",), True)
         ms.reset()
         assert len(ms) == 0
+
+
+class TestRecoverFromDepth:
+    """A violation must report the last batch whose recorded decisions all
+    still hold — the seed hardcoded recover_from_batch=0, forcing every
+    recovery to replay the whole run."""
+
+    def make(self):
+        cmp_ = Comparison(">", Col("d"), Col("u"))
+        return SentinelStore([cmp_], {"u"})
+
+    def record_at(self, store, ctx, d_value, batch_no, expected=True):
+        ref = LineageRef(1, (), "v")
+        rel = rel_with_refs([d_value], ref)
+        store.record(
+            0, rel, np.array([0]), np.array([expected]), batch_no=batch_no
+        )
+
+    def test_only_tightest_flips(self):
+        store = self.make()
+        ctx = make_ctx()
+        publish(ctx, 1, (), "v", 10.0, [10.0])
+        self.record_at(store, ctx, 50.0, batch_no=3)  # 50 > u, looser
+        self.record_at(store, ctx, 20.0, batch_no=6)  # 20 > u, tighter
+        publish(ctx, 1, (), "v", 30.0, [30.0])  # 20>30 flips, 50>30 holds
+        with pytest.raises(RangeIntegrityError) as exc:
+            store.check(ctx)
+        assert exc.value.recover_from_batch == 5
+
+    def test_whole_staircase_flips(self):
+        store = self.make()
+        ctx = make_ctx()
+        publish(ctx, 1, (), "v", 10.0, [10.0])
+        self.record_at(store, ctx, 50.0, batch_no=3)
+        self.record_at(store, ctx, 20.0, batch_no=6)
+        publish(ctx, 1, (), "v", 60.0, [60.0])  # above both steps
+        with pytest.raises(RangeIntegrityError) as exc:
+            store.check(ctx)
+        assert exc.value.recover_from_batch == 2
+
+    def test_multiple_entities_report_min(self):
+        store = self.make()
+        ctx = make_ctx()
+        for key, batch in (("a", 4), ("b", 7)):
+            ref = LineageRef(1, (key,), "v")
+            publish(ctx, 1, (key,), "v", 10.0, [10.0])
+            rel = rel_with_refs([20.0], ref)
+            store.record(
+                0, rel, np.array([0]), np.array([True]), batch_no=batch
+            )
+        publish(ctx, 1, ("a",), "v", 99.0, [99.0])
+        publish(ctx, 1, ("b",), "v", 99.0, [99.0])
+        with pytest.raises(RangeIntegrityError) as exc:
+            store.check(ctx)
+        assert exc.value.recover_from_batch == 3
+        # Both violations are collected into one failure.
+        assert "more" in str(exc.value)
+
+    def test_vanished_entity_reports_resolution_batch(self):
+        store = self.make()
+        ctx = make_ctx()
+        ref = LineageRef(1, ("gone",), "v")
+        publish(ctx, 1, ("gone",), "v", 10.0, [10.0])
+        rel = rel_with_refs([50.0], ref)
+        store.record(0, rel, np.array([0]), np.array([True]), batch_no=5)
+        ctx.blocks[1] = BlockOutput(1, [], ["v"])
+        with pytest.raises(RangeIntegrityError) as exc:
+            store.check(ctx)
+        assert exc.value.recover_from_batch == 4
+
+    def test_unbatched_records_default_to_zero(self):
+        store = self.make()
+        ctx = make_ctx()
+        publish(ctx, 1, (), "v", 10.0, [10.0])
+        self.record_at(store, ctx, 50.0, batch_no=0)
+        publish(ctx, 1, (), "v", 99.0, [99.0])
+        with pytest.raises(RangeIntegrityError) as exc:
+            store.check(ctx)
+        assert exc.value.recover_from_batch == 0
+
+    def test_check_skipped_while_replaying(self):
+        store = self.make()
+        ctx = make_ctx()
+        publish(ctx, 1, (), "v", 10.0, [10.0])
+        self.record_at(store, ctx, 50.0, batch_no=3)
+        publish(ctx, 1, (), "v", 99.0, [99.0])
+        ctx.monitor.replaying = True
+        store.check(ctx)  # restored sentinels hold at the restore point
+
+    def test_vectorized_record_tracks_batches_too(self):
+        store = self.make()
+        ctx = make_ctx()
+        ref = LineageRef(1, (), "v")
+        publish(ctx, 1, (), "v", 10.0, [10.0])
+        rel = rel_with_refs([50.0, 20.0], ref)
+        store.record(
+            0, rel, np.array([0]), np.array([True]),
+            vectorize=True, batch_no=3,
+        )
+        store.record(
+            0, rel, np.array([1]), np.array([True]),
+            vectorize=True, batch_no=6,
+        )
+        publish(ctx, 1, (), "v", 30.0, [30.0])
+        with pytest.raises(RangeIntegrityError) as exc:
+            store.check(ctx)
+        assert exc.value.recover_from_batch == 5
+
+
+class TestMembershipRecoverFrom:
+    def view(self, ctx, points):
+        for key, member in points.items():
+            publish(ctx, 7, key, "v", 1.0, [1.0], member_point=member)
+        return ctx.blocks[7]
+
+    def test_flip_reports_resolution_batch(self):
+        ms = MembershipSentinels()
+        ctx = make_ctx()
+        ms.record(("g",), True, batch_no=6)
+        with pytest.raises(RangeIntegrityError) as exc:
+            ms.check(ctx, self.view(ctx, {("g",): False}))
+        assert exc.value.recover_from_batch == 5
+
+    def test_multiple_flips_report_min(self):
+        ms = MembershipSentinels()
+        ctx = make_ctx()
+        ms.record(("a",), True, batch_no=4)
+        ms.record(("b",), True, batch_no=7)
+        with pytest.raises(RangeIntegrityError) as exc:
+            ms.check(ctx, self.view(ctx, {("a",): False, ("b",): False}))
+        assert exc.value.recover_from_batch == 3
+        assert "more" in str(exc.value)
+
+    def test_first_record_pins_batch(self):
+        ms = MembershipSentinels()
+        ctx = make_ctx()
+        ms.record(("g",), True, batch_no=2)
+        ms.record(("g",), True, batch_no=9)  # later re-record: ignored
+        with pytest.raises(RangeIntegrityError) as exc:
+            ms.check(ctx, self.view(ctx, {("g",): False}))
+        assert exc.value.recover_from_batch == 1
+
+    def test_check_skipped_while_replaying(self):
+        ms = MembershipSentinels()
+        ctx = make_ctx()
+        ms.record(("g",), True, batch_no=2)
+        ctx.monitor.replaying = True
+        ms.check(ctx, self.view(ctx, {("g",): False}))
