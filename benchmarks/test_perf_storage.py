@@ -1,0 +1,205 @@
+"""Storage-plane perf benchmarks: streaming ingestion + chunked scan.
+
+The storage layer's pitch is that a fact table an order of magnitude
+bigger than the in-memory workloads can be ingested and scanned with
+bounded memory: ingestion streams chunks straight to disk, and scans
+memory-map the chunk buffers, so peak RSS tracks one chunk rather than
+the table. This module measures both legs on a 10x fact table generated
+chunk by chunk (:func:`~repro.workloads.tpch.stream_lineorder_chunks`):
+
+* **ingest** — rows/second through :func:`~repro.storage.ingest_chunks`
+  (dictionary growth, null backfill, and disk writes included);
+* **scan+groupby** — rows/second for a chunked group-by/sum over the
+  encoded key columns (the carried-codes fast path end to end);
+* **memory** — tracemalloc peak over the whole streamed scan, asserted
+  bounded by a few chunks, far under the materialized table.
+
+Results are written to ``BENCH_storage.json`` at the repo root; the CI
+``storage-smoke`` job regenerates it at reduced scale and fails if either
+throughput collapses below half the checked-in baseline.
+
+Scale knobs (environment variables, defaults = the checked-in config):
+
+* ``IOLAP_PERF_STORAGE_ROWS``  — fact rows (default 200_000, ~10x the
+  in-memory benchmark tables)
+* ``IOLAP_PERF_STORAGE_CHUNK`` — rows per ingestion chunk (default 20_000)
+* ``IOLAP_PERF_REPS``          — repetitions, best-of (default 3)
+* ``IOLAP_PERF_MIN_INGEST_ROWS_S`` / ``IOLAP_PERF_MIN_SCAN_ROWS_S`` —
+  absolute sanity floors (defaults are deliberately loose; the real gate
+  is the CI baseline comparison)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.relational.groupby import group_ids
+from repro.storage import ingest_chunks, open_table
+from repro.workloads.tpch import LINEORDER_SCHEMA, stream_lineorder_chunks
+
+from benchmarks.harness import SEED
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_storage.json"
+
+PERF_ROWS = int(os.environ.get("IOLAP_PERF_STORAGE_ROWS", "200000"))
+PERF_CHUNK = int(os.environ.get("IOLAP_PERF_STORAGE_CHUNK", "20000"))
+PERF_REPS = int(os.environ.get("IOLAP_PERF_REPS", "3"))
+MIN_INGEST_ROWS_S = float(os.environ.get("IOLAP_PERF_MIN_INGEST_ROWS_S", "20000"))
+MIN_SCAN_ROWS_S = float(os.environ.get("IOLAP_PERF_MIN_SCAN_ROWS_S", "100000"))
+
+#: The grouped scan: revenue by (returnflag, shipmode) — two encoded key
+#: columns, so the group-by runs on carried dictionary codes.
+GROUP_KEYS = ["returnflag", "shipmode"]
+
+
+def _scan_groupby(table) -> dict[tuple, float]:
+    """Chunked scan: group-by GROUP_KEYS, summing discounted revenue."""
+    totals: dict[tuple, float] = {}
+    for chunk in table.iter_chunks():
+        keys, gids = group_ids(chunk, GROUP_KEYS)
+        revenue = np.asarray(chunk.columns["extendedprice"]) * (
+            1.0 - np.asarray(chunk.columns["discount"])
+        )
+        sums = np.bincount(gids, weights=revenue, minlength=len(keys))
+        for key, s in zip(keys, sums):
+            totals[key] = totals.get(key, 0.0) + float(s)
+    return totals
+
+
+@pytest.fixture(scope="module")
+def bench(tmp_path_factory) -> dict:
+    root = tmp_path_factory.mktemp("storage-bench")
+
+    # -- ingest: stream the 10x fact table to disk, best-of reps ------------
+    ingest_best = None
+    for rep in range(PERF_REPS):
+        path = str(root / f"lineorder-{rep}")
+        t0 = time.perf_counter()
+        ingest_chunks(
+            path,
+            LINEORDER_SCHEMA,
+            stream_lineorder_chunks(PERF_ROWS, seed=SEED, chunk_rows=PERF_CHUNK),
+        )
+        elapsed = time.perf_counter() - t0
+        if ingest_best is None or elapsed < ingest_best[0]:
+            ingest_best = (elapsed, path)
+    ingest_seconds, table_path = ingest_best
+    table = open_table(table_path)
+    assert table.num_rows == PERF_ROWS
+
+    # -- chunked scan + group-by, best-of reps ------------------------------
+    scan_seconds = None
+    totals: dict[tuple, float] = {}
+    for _ in range(PERF_REPS):
+        t0 = time.perf_counter()
+        totals = _scan_groupby(table)
+        elapsed = time.perf_counter() - t0
+        scan_seconds = elapsed if scan_seconds is None else min(scan_seconds, elapsed)
+
+    # -- memory: tracemalloc peak over one full streamed scan ---------------
+    # (memmap buffers are untraced OS pages; what tracemalloc sees is the
+    # per-chunk materialization — exactly the thing that must stay O(chunk).)
+    fresh = open_table(table_path)
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    _scan_groupby(fresh)
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    chunk_bytes = fresh.chunk(0).estimated_bytes()
+    full_bytes = sum(c.estimated_bytes() for c in fresh.iter_chunks())
+
+    disk_bytes = sum(
+        f.stat().st_size for f in pathlib.Path(table_path).iterdir()
+    )
+    result = {
+        "schema": "bench-storage-v1",
+        "config": {
+            "fact_rows": PERF_ROWS,
+            "chunk_rows": PERF_CHUNK,
+            "num_chunks": table.num_chunks,
+            "reps": PERF_REPS,
+            "seed": SEED,
+            "group_keys": GROUP_KEYS,
+        },
+        "ingest": {
+            "seconds": ingest_seconds,
+            "rows_per_second": PERF_ROWS / ingest_seconds,
+            "disk_bytes": disk_bytes,
+        },
+        "scan_groupby": {
+            "seconds": scan_seconds,
+            "rows_per_second": PERF_ROWS / scan_seconds,
+            "num_groups": len(totals),
+        },
+        "memory": {
+            "scan_peak_tracemalloc_bytes": peak_bytes,
+            "chunk_estimated_bytes": chunk_bytes,
+            "table_estimated_bytes": full_bytes,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    result["_totals"] = totals
+    result["_table_path"] = table_path
+    return result
+
+
+def test_ingest_throughput_floor(bench):
+    got = bench["ingest"]["rows_per_second"]
+    assert got >= MIN_INGEST_ROWS_S, (
+        f"ingest {got:,.0f} rows/s below floor {MIN_INGEST_ROWS_S:,.0f}"
+    )
+
+
+def test_scan_groupby_throughput_floor(bench):
+    got = bench["scan_groupby"]["rows_per_second"]
+    assert got >= MIN_SCAN_ROWS_S, (
+        f"scan+groupby {got:,.0f} rows/s below floor {MIN_SCAN_ROWS_S:,.0f}"
+    )
+
+
+def test_streamed_scan_peak_memory_bounded(bench):
+    """Peak traced memory must track chunks, not the table: the streamed
+    scan may transiently hold a few chunks' worth of materialized cells
+    (gather outputs, group-id scratch), never the whole fact table."""
+    peak = bench["memory"]["scan_peak_tracemalloc_bytes"]
+    chunk = bench["memory"]["chunk_estimated_bytes"]
+    table = bench["memory"]["table_estimated_bytes"]
+    assert peak <= 8 * chunk, f"scan peak {peak:,} > 8 chunks ({chunk:,} each)"
+    if table > 10 * chunk:  # reduced-scale CI may run with few chunks
+        assert peak < table / 2, f"scan peak {peak:,} not < half table {table:,}"
+
+
+def test_streamed_groupby_matches_materialized(bench):
+    """The chunked group-by must agree with computing over the whole
+    mapped relation at once (same codes, same float sums)."""
+    table = open_table(bench["_table_path"])
+    rel = table.relation()
+    keys, gids = group_ids(rel, GROUP_KEYS)
+    revenue = np.asarray(rel.columns["extendedprice"]) * (
+        1.0 - np.asarray(rel.columns["discount"])
+    )
+    sums = np.bincount(gids, weights=revenue, minlength=len(keys))
+    whole = {key: float(s) for key, s in zip(keys, sums)}
+    streamed = bench["_totals"]
+    assert set(whole) == set(streamed)
+    for key, s in whole.items():
+        np.testing.assert_allclose(streamed[key], s, rtol=1e-9)
+
+
+def test_bench_file_checked_in_and_valid(bench):
+    on_disk = json.loads(BENCH_PATH.read_text())
+    assert on_disk["schema"] == "bench-storage-v1"
+    for section in ("config", "ingest", "scan_groupby", "memory"):
+        assert section in on_disk
+    assert on_disk["ingest"]["rows_per_second"] > 0
+    assert on_disk["scan_groupby"]["rows_per_second"] > 0
+    assert on_disk["config"]["fact_rows"] == PERF_ROWS

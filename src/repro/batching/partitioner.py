@@ -9,6 +9,15 @@ are provided, mirroring the paper:
   are uncorrelated with storage order.
 * ``"shuffle"`` — the pre-processing tool for when that assumption fails:
   a full random permutation of rows before slicing.
+* ``"sequential"`` — contiguous ranges in storage order, for inputs that
+  were already shuffled at rest (e.g. by :func:`shuffle_relation` before
+  disk ingestion): every batch is then a zero-copy
+  :meth:`~repro.relational.relation.Relation.slice`.
+
+Whatever the mode, :meth:`Partitioner.partition` materializes a batch
+with ``Relation.slice`` (views, no copies) whenever its sorted row
+indices turn out contiguous, and falls back to ``take`` gathers
+otherwise.
 
 The partitioner also exposes the accumulated-sampling bookkeeping: after
 batch ``i`` the engine has seen ``|D_i|`` rows of ``|D|``, so partial
@@ -55,7 +64,7 @@ class Partitioner:
         seed: int = 0,
         block_rows: int = 64,
     ):
-        if mode not in ("shuffle", "blocks"):
+        if mode not in ("shuffle", "blocks", "sequential"):
             raise ReproError(f"unknown partition mode {mode!r}")
         self.mode = mode
         self.seed = seed
@@ -69,7 +78,9 @@ class Partitioner:
             raise ReproError("need at least one batch")
         num_batches = min(num_batches, max(num_rows, 1))
         rng = np.random.default_rng(self.seed)
-        if self.mode == "shuffle":
+        if self.mode == "sequential":
+            order = np.arange(num_rows, dtype=np.intp)
+        elif self.mode == "shuffle":
             order = rng.permutation(num_rows)
         else:
             blocks = [
@@ -85,11 +96,23 @@ class Partitioner:
     def partition(
         self, relation: Relation, num_batches: int
     ) -> list[Relation]:
-        """Materialized mini-batch relations."""
+        """Materialized mini-batch relations (zero-copy when contiguous)."""
         return [
-            relation.take(ix)
+            _materialize_batch(relation, ix)
             for ix in self.partition_indices(len(relation), num_batches)
         ]
+
+
+def _materialize_batch(relation: Relation, ix: np.ndarray) -> Relation:
+    """One batch from its sorted row indices.
+
+    ``partition_indices`` returns sorted unique indices, so contiguity is
+    a single range check; contiguous batches become zero-copy slices of
+    the streamed table (its buffers may themselves be disk maps).
+    """
+    if len(ix) and int(ix[-1]) - int(ix[0]) == len(ix) - 1:
+        return relation.slice(int(ix[0]), int(ix[-1]) + 1)
+    return relation.take(ix)
 
 
 def num_batches_for(total_rows: int, batch_rows: int) -> int:

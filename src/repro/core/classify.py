@@ -84,7 +84,9 @@ def evaluate_side(
         return SideValues(vals, vals, vals, None, np.zeros(n, dtype=bool), set())
 
     if isinstance(expr, Col):
-        return _resolve_column(rel.column(expr.name), n, ctx)
+        return _resolve_column(
+            rel.column(expr.name), n, ctx, rel.lineage.get(expr.name)
+        )
 
     if ctx.config.vectorize:
         out = kresolve.try_evaluate_side(expr, rel, uncertain_cols, ctx)
@@ -127,11 +129,18 @@ def evaluate_side(
 
 
 def _resolve_column(
-    column: np.ndarray, n: int, ctx: RuntimeContext
+    column: np.ndarray, n: int, ctx: RuntimeContext, lineage=None
 ) -> SideValues:
-    """Fast path: a bare uncertain column of refs / uncertain values."""
+    """Fast path: a bare uncertain column of refs / uncertain values.
+
+    ``lineage`` is the column's structured sidecar when the producing
+    operator attached one (``UncertainJoinOp._attach_coded``): the
+    vectorized kernel then walks int32 slots and the ND bitmask instead
+    of ``isinstance``-scanning the cell objects. The row-wise reference
+    below ignores it by design.
+    """
     if ctx.config.vectorize:
-        return SideValues(*kresolve.resolve_column(column, n, ctx))
+        return SideValues(*kresolve.resolve_column(column, n, ctx, lineage))
     lo = np.empty(n)
     hi = np.empty(n)
     point = np.empty(n)

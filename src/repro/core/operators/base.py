@@ -298,9 +298,10 @@ def mask_contribution(
         else rel.mult[:, None] * trials
     )
     keep = point | trials.any(axis=1)
-    return Relation(
+    return Relation._from_parts(
         rel.schema,
         {n: a[keep] for n, a in rel.columns.items()},
         mult[keep],
         trial_mults[keep],
+        **rel._map_sidecars("take", keep),
     )

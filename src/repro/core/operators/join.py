@@ -23,6 +23,7 @@ from repro.kernels.views import GroupTable, group_table
 from repro.relational.evaluator import join_relations
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
+from repro.storage.lineage import lineage_from_refs
 
 
 class StaticJoinOp(SpineOp):
@@ -107,7 +108,14 @@ def _reorder_columns(rel: Relation, schema: Schema) -> Relation:
     """Project columns into the compiler's expected order, tolerating the
     key-drop asymmetry of flipped joins."""
     cols = {name: rel.columns[name] for name in schema.names}
-    return Relation(schema, cols, rel.mult, rel.trial_mults)
+    return Relation._from_parts(
+        schema,
+        cols,
+        rel.mult,
+        rel.trial_mults,
+        encodings={n: e for n, e in rel.encodings.items() if n in cols} or None,
+        lineage={n: s for n, s in rel.lineage.items() if n in cols} or None,
+    )
 
 
 class UncertainJoinOp(SpineOp):
@@ -197,9 +205,16 @@ class UncertainJoinOp(SpineOp):
         self, rel: Relation, table: GroupTable | None, slot_rows: np.ndarray
     ) -> Relation:
         """Vectorized :meth:`_attach`: gather side columns from the group
-        table's per-column pools instead of filling row by row."""
+        table's per-column pools instead of filling row by row.
+
+        Uncertain columns additionally get a structured
+        :class:`~repro.storage.lineage.LineageColumn` sidecar — the slot
+        rows *are* the ``(block_id, row_idx)`` lineage, so downstream
+        resolve/sentinel passes consume int32 slots and the ND bitmask
+        instead of re-factorizing the ref objects by identity."""
         n = len(rel)
         cols = dict(rel.columns)
+        lineage = dict(rel.lineage)
         for name, is_uncertain in self.attach_cols:
             if n == 0:
                 dtype = (
@@ -207,12 +222,21 @@ class UncertainJoinOp(SpineOp):
                 )
                 cols[name] = np.empty(0, dtype=dtype)
             elif is_uncertain:
-                cols[name] = table.ref_pool(self.side_id, name, LineageRef)[slot_rows]
+                pool = table.ref_pool(self.side_id, name, LineageRef)
+                cols[name] = pool[slot_rows]
+                lineage[name] = lineage_from_refs(str(self.side_id), pool, slot_rows)
             else:
                 cols[name] = table.value_pool(name, self.schema.type_of(name).dtype)[
                     slot_rows
                 ]
-        return Relation(self.schema, cols, rel.mult, rel.trial_mults)
+        return Relation._from_parts(
+            self.schema,
+            cols,
+            rel.mult,
+            rel.trial_mults,
+            encodings=rel.encodings or None,
+            lineage=lineage or None,
+        )
 
     def _attach(self, rel: Relation, groups: list[GroupValue]) -> Relation:
         """Append side columns for rows whose group is known."""

@@ -191,11 +191,19 @@ class SentinelStore:
         cell_cols = [np.asarray(rel.columns[c], dtype=object)[idx] for c in cols]
         # Entity codes by cell identity. Equal-but-distinct cells land in
         # different codes; the dict merge below re-unifies them by value,
-        # and min/max folds commute, so the result is unchanged.
+        # and min/max folds commute, so the result is unchanged. A column
+        # with a structured lineage sidecar yields identity codes straight
+        # from its int32 slots (slot-distinctness equals identity-
+        # distinctness, and intermediate code order is immaterial — the
+        # final iteration below is by first appearance either way).
         codes = np.zeros(m, dtype=np.intp)
-        for arr in cell_cols:
-            ids = np.frompyfunc(id, 1, 1)(arr).astype(np.int64)
-            _, inv = np.unique(ids, return_inverse=True)
+        for c, arr in zip(cols, cell_cols):
+            lin = rel.lineage.get(c)
+            if lin is not None and len(lin) == len(rel.mult) and lin.all_refs:
+                _, inv = np.unique(lin.slots[idx], return_inverse=True)
+            else:
+                ids = np.frompyfunc(id, 1, 1)(arr).astype(np.int64)
+                _, inv = np.unique(ids, return_inverse=True)
             inv = inv.reshape(m).astype(np.intp, copy=False)
             radix = int(inv.max()) + 1
             _, codes = np.unique(codes * radix + inv, return_inverse=True)

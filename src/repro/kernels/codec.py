@@ -95,19 +95,32 @@ def _dict_factorize_column(arr: np.ndarray) -> np.ndarray:
 
 
 def factorize_arrays(
-    arrays: Sequence[np.ndarray], n: int
+    arrays: Sequence[np.ndarray],
+    n: int,
+    column_codes: Sequence[np.ndarray | None] | None = None,
 ) -> tuple[np.ndarray, np.ndarray] | None:
     """Factorize parallel key arrays into first-appearance codes.
 
     Returns ``(codes, first_rows)`` where ``first_rows[g]`` is the row at
     which key ``g`` first occurs, or ``None`` when the input needs the
     dict fallback (NaN float keys, unhashable objects).
+
+    ``column_codes`` optionally injects storage-carried dictionary codes
+    (``EncodedColumn.codes``) per column: a dictionary page assigns codes
+    with exactly the dict-sweep semantics below (distinct code ↔ distinct
+    value), so the column's hash sweep collapses into one integer
+    ``np.unique`` — this is how encoded key columns skip re-hashing
+    Python objects on every hop.
     """
     if not arrays:
         return np.zeros(n, dtype=np.intp), np.zeros(min(n, 1), dtype=np.intp)
     codes: np.ndarray | None = None
-    for arr in arrays:
-        if arr.dtype.kind == "O":
+    for pos, arr in enumerate(arrays):
+        pre = column_codes[pos] if column_codes is not None else None
+        if pre is not None:
+            STATS.inc("codec_encoded_cols")
+            _, inv = np.unique(pre, return_inverse=True)
+        elif arr.dtype.kind == "O":
             try:
                 inv = _dict_factorize_column(arr)
             except TypeError:
@@ -134,6 +147,17 @@ def factorize_arrays(
     return rank[codes], first_pos[order]
 
 
+def _carried_codes(rel, names: Sequence[str]) -> list[np.ndarray | None] | None:
+    """Storage-carried dictionary codes for each key column (or ``None``)."""
+    encodings = getattr(rel, "encodings", None)
+    if not encodings:
+        return None
+    out = [
+        encodings[name].codes if name in encodings else None for name in names
+    ]
+    return out if any(c is not None for c in out) else None
+
+
 def _factorize_relation(rel, names: Sequence[str]) -> KeyCodes:
     n = len(rel)
     if not names:
@@ -142,7 +166,7 @@ def _factorize_relation(rel, names: Sequence[str]) -> KeyCodes:
         # zero keys).
         return KeyCodes(np.zeros(n, dtype=np.intp), [()] if n else [])
     arrays = [rel.columns[name] for name in names]
-    result = factorize_arrays(arrays, n)
+    result = factorize_arrays(arrays, n, _carried_codes(rel, names))
     if result is None:
         # Dict fallback: bit-identical to the reference by construction.
         mapping: dict[tuple, int] = {}

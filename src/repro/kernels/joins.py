@@ -93,10 +93,33 @@ def vectorized_join(
     kept_right = [c for c in right.schema if c.name not in drop]
     schema = Schema(list(left.schema.columns) + kept_right)
     cols: dict[str, np.ndarray] = {}
+    encodings: dict = {}
+    lineage: dict = {}
     for c in left.schema:
         cols[c.name] = left.columns[c.name][li]
+        _gather_sidecars(left, c.name, li, encodings, lineage)
     for c in kept_right:
         cols[c.name] = right.columns[c.name][ri]
+        _gather_sidecars(right, c.name, ri, encodings, lineage)
     mult = left.mult[li] * right.mult[ri]
     trials = _join_trials(left, right, li, ri)
-    return Relation(schema, cols, mult, trials)
+    return Relation._from_parts(
+        schema,
+        cols,
+        mult,
+        trials,
+        encodings=encodings or None,
+        lineage=lineage or None,
+    )
+
+
+def _gather_sidecars(
+    side: Relation, name: str, rows: np.ndarray, encodings: dict, lineage: dict
+) -> None:
+    """Carry a column's storage sidecars through the join row gather."""
+    enc = side.encodings.get(name)
+    if enc is not None:
+        encodings[name] = enc.take(rows)
+    lin = side.lineage.get(name)
+    if lin is not None:
+        lineage[name] = lin.take(rows)

@@ -83,10 +83,16 @@ def try_evaluate_side(
 
 
 def resolve_column(
-    column: np.ndarray, n: int, ctx
+    column: np.ndarray, n: int, ctx, lineage=None
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, set]:
-    """Vectorized fast path for a bare uncertain column of refs/values."""
-    node = _resolve_column_node(column, n, ctx)
+    """Vectorized fast path for a bare uncertain column of refs/values.
+
+    ``lineage`` may be the column's structured
+    :class:`~repro.storage.lineage.LineageColumn` sidecar; when present
+    the distinct cells come straight from its int32 slots instead of an
+    identity sweep over the objects.
+    """
+    node = _resolve_column_node(column, n, ctx, lineage)
     pending = node.pending
     assert pending is not None and node.trials is not None
     refs = _collect_refs(node, pending)
@@ -117,7 +123,7 @@ def _eval(expr, rel, uncertain_cols: set[str], ctx, n: int) -> _Node:
     if isinstance(expr, Col):
         values = rel.columns[expr.name]
         if expr.name in uncertain_cols:
-            return _resolve_column_node(values, n, ctx)
+            return _resolve_column_node(values, n, ctx, rel.lineage.get(expr.name))
         if values.dtype == object:
             raise UnsupportedKernel(f"object column {expr.name!r}")
         return _Node(values, values, values, None, None)
@@ -128,9 +134,21 @@ def _eval(expr, rel, uncertain_cols: set[str], ctx, n: int) -> _Node:
     raise UnsupportedKernel(f"cannot vectorize {type(expr).__name__}")
 
 
-def _resolve_column_node(column: np.ndarray, n: int, ctx) -> _Node:
-    """Resolve each *distinct* cell once, then gather per row."""
-    codes, cells = factorize_cells(np.asarray(column, dtype=object))
+def _resolve_column_node(column: np.ndarray, n: int, ctx, lineage=None) -> _Node:
+    """Resolve each *distinct* cell once, then gather per row.
+
+    With a structured lineage sidecar the distinct-cell factorization is
+    a pure int32 ``np.unique`` over slot indices (the pool holds one
+    distinct object per slot, so slot-distinctness equals the identity
+    factorization); mixed or sidecar-less columns fall back to the
+    ``id()`` sweep.
+    """
+    fact = None
+    if lineage is not None and len(lineage) == n:
+        fact = lineage.factorized()
+    if fact is None:
+        fact = factorize_cells(np.asarray(column, dtype=object))
+    codes, cells = fact
     u = len(cells)
     t = ctx.num_trials
     u_lo = np.empty(u)

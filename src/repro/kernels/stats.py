@@ -22,6 +22,7 @@ class KernelStats:
     _FIELDS = (
         "codec_hits",
         "codec_misses",
+        "codec_encoded_cols",
         "view_table_hits",
         "view_table_misses",
         "side_index_hits",

@@ -6,7 +6,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.kernels.codec import factorize_arrays
+from repro.kernels.codec import _carried_codes, factorize_arrays
 from repro.relational.relation import Relation
 
 #: A group key is the tuple of group-by column values (``()`` for scalar
@@ -24,6 +24,16 @@ def group_ids(rel: Relation, group_by: Sequence[str]) -> tuple[list[GroupKey], n
     n = len(rel)
     if not group_by:
         return [()], np.zeros(n, dtype=np.intp)
+    carried = _carried_codes(rel, list(group_by))
+    if carried is not None:
+        # Dictionary-encoded key columns: group directly on storage codes,
+        # no value hashing or object sorting.
+        arrays = [rel.column(name) for name in group_by]
+        factorized = factorize_arrays(arrays, n, carried)
+        if factorized is not None:
+            codes, first_rows = factorized
+            keys = list(zip(*(a[first_rows].tolist() for a in arrays)))
+            return keys, codes
     if len(group_by) == 1:
         values = rel.column(group_by[0])
         uniques, inverse = np.unique(values, return_inverse=True)

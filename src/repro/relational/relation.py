@@ -17,25 +17,42 @@ A :class:`Relation` stores one NumPy array per column plus:
 Columns normally hold plain scalars; in the online engine a column may be
 an object array of :class:`~repro.core.values.LineageRef`, which is opaque
 to this module.
+
+Storage sidecars (``repro.storage``): a column may additionally carry an
+:class:`~repro.storage.columns.EncodedColumn` (dictionary codes + null
+mask) in ``encodings`` and/or a
+:class:`~repro.storage.lineage.LineageColumn` (structured lineage + ND
+bitmask) in ``lineage``. Sidecars describe the *same* rows as the
+materialized column and ride through every transformation; they are pure
+acceleration structure — dropping one never changes semantics, only
+speed. The public constructor (an API boundary) validates shapes and
+accepts no sidecars; operator-internal hops use :meth:`_from_parts`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import SchemaError
 from repro.relational.schema import ColumnType, Schema
 
+if TYPE_CHECKING:
+    from repro.storage.columns import EncodedColumn
+    from repro.storage.lineage import LineageColumn
+
 Row = dict[str, object]
+
+_NO_SIDECARS: dict = {}
 
 
 class Relation:
     """An immutable-by-convention columnar bag relation.
 
     Mutating helpers always return new relations; the backing arrays may be
-    shared, so callers must not write into ``columns`` / ``mult`` in place.
+    shared, so callers must not write into ``columns`` / ``mult`` in place
+    (the ENG006 lint enforces this outside ``repro.storage``).
     """
 
     def __init__(
@@ -76,8 +93,50 @@ class Relation:
                 )
         self.trial_mults = trial_mults
         self._n = n
+        self.encodings: dict[str, "EncodedColumn"] = {}
+        self.lineage: dict[str, "LineageColumn"] = {}
 
     # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def _from_parts(
+        cls,
+        schema: Schema,
+        columns: Mapping[str, np.ndarray],
+        mult: np.ndarray,
+        trial_mults: np.ndarray | None = None,
+        *,
+        encodings: "dict[str, EncodedColumn] | None" = None,
+        lineage: "dict[str, LineageColumn] | None" = None,
+    ) -> "Relation":
+        """Trusted internal constructor for operator-internal hops.
+
+        Skips the per-column ``np.asarray``/length re-validation of
+        ``__init__`` — callers pass already-validated ndarrays whose
+        lengths match ``mult`` (every transformation below derives its
+        outputs from one index operation, so this holds by construction).
+        Full validation stays at the API boundary (``__init__``).
+        """
+        rel = cls.__new__(cls)
+        rel.schema = schema
+        rel.columns = dict(columns)
+        rel.mult = mult
+        rel.trial_mults = trial_mults
+        rel._n = len(mult)
+        rel.encodings = encodings if encodings is not None else _NO_SIDECARS
+        rel.lineage = lineage if lineage is not None else _NO_SIDECARS
+        return rel
+
+    def _map_sidecars(self, op: str, *args: object) -> dict:
+        """Apply one index operation to both sidecar dicts."""
+        out: dict = {}
+        for field in ("encodings", "lineage"):
+            mapped = {
+                name: getattr(sc, op)(*args)
+                for name, sc in getattr(self, field).items()
+            }
+            out[field] = mapped if mapped else None
+        return out
 
     @classmethod
     def empty(cls, schema: Schema, num_trials: int | None = None) -> "Relation":
@@ -141,15 +200,42 @@ class Relation:
 
     def filter(self, mask: np.ndarray) -> "Relation":
         """Rows where boolean ``mask`` holds (multiplicities preserved)."""
+        mask = np.asarray(mask)
         cols = {n: a[mask] for n, a in self.columns.items()}
         trials = None if self.trial_mults is None else self.trial_mults[mask]
-        return Relation(self.schema, cols, self.mult[mask], trials)
+        return Relation._from_parts(
+            self.schema, cols, self.mult[mask], trials, **self._map_sidecars("take", mask)
+        )
 
     def take(self, indices: np.ndarray) -> "Relation":
         """Rows at ``indices`` (with repetition allowed)."""
+        indices = np.asarray(indices)
         cols = {n: a[indices] for n, a in self.columns.items()}
         trials = None if self.trial_mults is None else self.trial_mults[indices]
-        return Relation(self.schema, cols, self.mult[indices], trials)
+        return Relation._from_parts(
+            self.schema,
+            cols,
+            self.mult[indices],
+            trials,
+            **self._map_sidecars("take", indices),
+        )
+
+    def slice(self, start: int, stop: int) -> "Relation":
+        """Rows ``[start, stop)`` as zero-copy views of the backing buffers.
+
+        Views alias this relation's memory — cheap, but a caller must not
+        write into either side's buffers (ENG006 / immutability-by-
+        convention; the ContractVerifier fingerprints inputs to catch it).
+        """
+        cols = {n: a[start:stop] for n, a in self.columns.items()}
+        trials = None if self.trial_mults is None else self.trial_mults[start:stop]
+        return Relation._from_parts(
+            self.schema,
+            cols,
+            self.mult[start:stop],
+            trials,
+            **self._map_sidecars("slice", start, stop),
+        )
 
     def scale(self, factor: float | np.ndarray) -> "Relation":
         """Multiply multiplicities (and trial multiplicities) by ``factor``."""
@@ -159,27 +245,69 @@ class Relation:
                 trials = trials * factor
             else:
                 trials = trials * np.asarray(factor)[:, None]
-        return Relation(self.schema, self.columns, self.mult * factor, trials)
+        return Relation._from_parts(
+            self.schema,
+            self.columns,
+            self.mult * factor,
+            trials,
+            encodings=self.encodings or None,
+            lineage=self.lineage or None,
+        )
 
     def with_mult(self, mult: np.ndarray, trial_mults: np.ndarray | None) -> "Relation":
-        return Relation(self.schema, self.columns, mult, trial_mults)
+        mult = np.asarray(mult, dtype=np.float64)
+        if len(mult) != self._n:
+            raise SchemaError(f"mult has {len(mult)} entries, expected {self._n}")
+        return Relation._from_parts(
+            self.schema,
+            self.columns,
+            mult,
+            trial_mults,
+            encodings=self.encodings or None,
+            lineage=self.lineage or None,
+        )
 
     def project(self, names: Sequence[str]) -> "Relation":
         sub = self.schema.project(names)
         cols = {n: self.columns[n] for n in names}
-        return Relation(sub, cols, self.mult, self.trial_mults)
+        return Relation._from_parts(
+            sub,
+            cols,
+            self.mult,
+            self.trial_mults,
+            encodings={n: e for n, e in self.encodings.items() if n in cols} or None,
+            lineage={n: s for n, s in self.lineage.items() if n in cols} or None,
+        )
 
     def rename(self, mapping: dict[str, str]) -> "Relation":
         schema = self.schema.rename(mapping)
         cols = {mapping.get(n, n): a for n, a in self.columns.items()}
-        return Relation(schema, cols, self.mult, self.trial_mults)
+        return Relation._from_parts(
+            schema,
+            cols,
+            self.mult,
+            self.trial_mults,
+            encodings={mapping.get(n, n): e for n, e in self.encodings.items()} or None,
+            lineage={mapping.get(n, n): s for n, s in self.lineage.items()} or None,
+        )
 
     def with_column(self, name: str, ctype: ColumnType, values: np.ndarray) -> "Relation":
         """Relation with an extra column appended."""
         schema = self.schema.concat(Schema([(name, ctype)]))
         cols = dict(self.columns)
         cols[name] = np.asarray(values)
-        return Relation(schema, cols, self.mult, self.trial_mults)
+        if len(cols[name]) != self._n:
+            raise SchemaError(
+                f"column {name!r} has {len(cols[name])} rows, expected {self._n}"
+            )
+        return Relation._from_parts(
+            schema,
+            cols,
+            self.mult,
+            self.trial_mults,
+            encodings=self.encodings or None,
+            lineage=self.lineage or None,
+        )
 
     def concat(self, other: "Relation") -> "Relation":
         """Bag union with ``other`` (schemas must match exactly)."""
@@ -197,7 +325,26 @@ class Relation:
         }
         mult = np.concatenate([self.mult, other.mult])
         trials = _concat_trials(self, other)
-        return Relation(self.schema, cols, mult, trials)
+        encodings: dict = {}
+        for n, enc in self.encodings.items():
+            other_enc = other.encodings.get(n)
+            if other_enc is not None:
+                encodings[n] = enc.concat(other_enc)
+        lineage: dict = {}
+        for n, lin in self.lineage.items():
+            other_lin = other.lineage.get(n)
+            if other_lin is not None:
+                merged = lin.concat(other_lin)
+                if merged is not None:
+                    lineage[n] = merged
+        return Relation._from_parts(
+            self.schema,
+            cols,
+            mult,
+            trials,
+            encodings=encodings or None,
+            lineage=lineage or None,
+        )
 
     # -- grouping helpers -------------------------------------------------------
 

@@ -7,8 +7,12 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from repro.relational.relation import Relation
+from repro.storage.columns import DictPage, EncodedColumn, sidecar_nbytes
+from repro.storage.lineage import LineageColumn
 
-def estimate_nbytes(value: object) -> int:
+
+def estimate_nbytes(value: object, seen: set[int] | None = None) -> int:
     """Rough in-memory footprint of one state entry, in bytes.
 
     Engine objects that know their own footprint (relations, sentinel
@@ -17,9 +21,30 @@ def estimate_nbytes(value: object) -> int:
     else gets a small flat estimate. The absolute numbers follow the
     same conventions the operators used before the store layer existed,
     so the Figure 9(b)/10(c) accounting is unchanged.
+
+    Storage-plane objects (encoded columns, lineage sidecars, dictionary
+    pages) are shared structure: a page backs every slice of its table,
+    so naive recursion would double-count it per slice. ``seen`` (ids of
+    pages/pools already measured) deduplicates across one traversal —
+    :meth:`InMemoryStateStore.entry_bytes` threads a single set through
+    all entries of a store, so a dictionary shared by the "nd" and
+    "pending" relations counts once.
     """
     if value is None:
         return 0
+    if seen is None:
+        seen = set()
+    if isinstance(value, Relation):
+        # Logical bytes (the pinned Figure 9(b) convention) plus the
+        # physical sidecar buffers, page-deduplicated.
+        return value.estimated_bytes() + sidecar_nbytes(value, seen)
+    if isinstance(value, (EncodedColumn, LineageColumn)):
+        return value.estimated_bytes(seen)
+    if isinstance(value, DictPage):
+        if id(value) in seen:
+            return 0
+        seen.add(id(value))
+        return value.estimated_bytes()
     own = getattr(value, "estimated_bytes", None)
     if callable(own):
         return int(own())
@@ -34,15 +59,16 @@ def estimate_nbytes(value: object) -> int:
     if isinstance(value, str):
         return 49 + len(value)
     if isinstance(value, (set, frozenset)):
-        return 64 + sum(16 + estimate_nbytes(v) for v in value)
+        return 64 + sum(16 + estimate_nbytes(v, seen) for v in value)
     if isinstance(value, dict):
         # Keys are measured like any other value (a tuple group key or a
         # long string key is real state); 16 covers the hash-table slot.
         return 64 + sum(
-            16 + estimate_nbytes(k) + estimate_nbytes(v) for k, v in value.items()
+            16 + estimate_nbytes(k, seen) + estimate_nbytes(v, seen)
+            for k, v in value.items()
         )
     if isinstance(value, (list, tuple)):
-        return 56 + sum(8 + estimate_nbytes(v) for v in value)
+        return 56 + sum(8 + estimate_nbytes(v, seen) for v in value)
     return 64
 
 
@@ -148,7 +174,11 @@ class InMemoryStateStore(StateStore):
         self._static.clear()
 
     def entry_bytes(self) -> dict[str, int]:
-        return {k: estimate_nbytes(v) for k, v in self._entries.items()}
+        # One seen-set across entries: a dictionary page shared by two
+        # entries (e.g. slices of the same encoded table) counts toward
+        # the first entry that reaches it, once per store.
+        seen: set[int] = set()
+        return {k: estimate_nbytes(v, seen) for k, v in self._entries.items()}
 
     def checkpoint(self) -> object:
         entries = {

@@ -1,0 +1,44 @@
+"""Columnar storage plane: encoded columns, structured lineage, chunked disk tables.
+
+This package owns the physical representation of relation data:
+
+* :mod:`repro.storage.columns` — append-only dictionary pages and
+  dictionary-encoded columns with explicit null masks. Encoding is a
+  property of storage (carried across operators), not a per-call cache.
+* :mod:`repro.storage.lineage` — the structured lineage sidecar: parallel
+  ``(block_id, slot)`` int32 arrays plus an explicit ND bitmask, replacing
+  object arrays of :class:`~repro.core.values.LineageRef` on hot paths.
+* :mod:`repro.storage.chunks` / :mod:`repro.storage.ingest` — the on-disk
+  chunked columnar format (memory-mapped buffers, Arrow-IPC in spirit)
+  and streaming ingestion, so fact tables never materialize as in-memory
+  lists.
+
+Buffer ownership: arrays handed out by this layer are shared, not copied.
+All in-place writes to column/mask buffers must happen inside this
+package (the ENG006 lint enforces this); engine code copies before
+writing.
+"""
+
+from repro.storage.columns import (
+    DictPage,
+    EncodedColumn,
+    encode_relation,
+    sidecar_nbytes,
+)
+from repro.storage.chunks import ChunkWriter, DiskTable
+from repro.storage.ingest import ingest_chunks, open_table, write_relation
+from repro.storage.lineage import LineageColumn, lineage_from_refs
+
+__all__ = [
+    "ChunkWriter",
+    "DictPage",
+    "DiskTable",
+    "EncodedColumn",
+    "LineageColumn",
+    "encode_relation",
+    "ingest_chunks",
+    "lineage_from_refs",
+    "open_table",
+    "sidecar_nbytes",
+    "write_relation",
+]

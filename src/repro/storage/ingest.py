@@ -1,0 +1,49 @@
+"""Streaming ingestion into the on-disk chunk format.
+
+The entry points accept an *iterable of chunks* so producers can generate
+data chunk by chunk — ingesting a fact table never requires holding it in
+memory. A chunk is a mapping of column name to array (or a
+:class:`~repro.relational.relation.Relation`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.storage.chunks import ChunkWriter, DiskTable
+
+
+def ingest_chunks(
+    path: str,
+    schema: Schema,
+    chunks: Iterable[Mapping[str, np.ndarray] | Relation],
+) -> DiskTable:
+    """Write ``chunks`` to ``path`` one at a time; returns the reader."""
+    with ChunkWriter(path, schema) as writer:
+        for chunk in chunks:
+            if isinstance(chunk, Relation):
+                writer.append_relation(chunk)
+            else:
+                writer.append(chunk)
+    return DiskTable(path)
+
+
+def write_relation(path: str, rel: Relation, chunk_rows: int = 65536) -> DiskTable:
+    """Persist an in-memory relation, re-chunked to ``chunk_rows`` rows."""
+
+    def slices() -> Iterable[Relation]:
+        for start in range(0, len(rel), chunk_rows):
+            yield rel.slice(start, min(start + chunk_rows, len(rel)))
+        if len(rel) == 0:
+            yield rel
+
+    return ingest_chunks(path, rel.schema, slices())
+
+
+def open_table(path: str) -> DiskTable:
+    """Open an existing chunk table directory."""
+    return DiskTable(path)

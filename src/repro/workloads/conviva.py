@@ -23,6 +23,7 @@ import numpy as np
 from repro.relational.catalog import Catalog
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnType, Schema
+from repro.storage.columns import encode_relation
 
 SESSIONS_SCHEMA = Schema(
     [
@@ -128,4 +129,6 @@ def generate_conviva(scale: float = 1.0, seed: int = 0) -> ConvivaData:
             "cost_per_gb": np.array([0.032, 0.030, 0.024, 0.02, 0.016]),
         },
     )
-    return ConvivaData(sessions, cdn_info)
+    # Dictionary-encode the string key columns: the pages then ride
+    # through every batch slice, join, and group-by of the workload runs.
+    return ConvivaData(encode_relation(sessions), encode_relation(cdn_info))

@@ -18,9 +18,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Iterator
+
 from repro.relational.catalog import Catalog
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnType, Schema
+from repro.storage.columns import encode_relation
 
 LINEORDER_SCHEMA = Schema(
     [
@@ -230,4 +233,59 @@ def generate_tpch(scale: float = 1.0, seed: int = 0) -> TPCHData:
             "shippriority": np.zeros(n_lo, dtype=np.int64),
         },
     )
-    return TPCHData(lineorder, customer, supplier, nation, part, partsupp)
+    # Dictionary-encode the string key columns at generation: the pages
+    # then ride along through every slice/join/group-by downstream.
+    return TPCHData(
+        encode_relation(lineorder),
+        encode_relation(customer),
+        encode_relation(supplier),
+        encode_relation(nation),
+        encode_relation(part),
+        encode_relation(partsupp),
+    )
+
+
+def stream_lineorder_chunks(
+    total_rows: int, seed: int = 0, chunk_rows: int = 20_000
+) -> Iterator[dict[str, np.ndarray]]:
+    """Generate ``lineorder`` chunk by chunk for streaming disk ingestion.
+
+    Peak memory is one chunk plus the (tiny) order-level arrays; chunks
+    are independent given the seed, so the stream is deterministic and
+    restartable. Used by the storage benchmark to build fact tables well
+    past what :func:`generate_tpch` should materialize.
+    """
+    rng = np.random.default_rng(seed)
+    n_orders = max(15, total_rows // 200)
+    n_cust = max(30, total_rows // 33)
+    n_supp = max(10, total_rows // 330)
+    n_part = max(15, total_rows // 400)
+    orderdates = rng.integers(0, 2400, n_orders)
+    order_prio = rng.choice(_PRIORITIES, n_orders)
+    cust_of_order = rng.integers(0, n_cust, n_orders)
+    for start in range(0, total_rows, chunk_rows):
+        n = min(chunk_rows, total_rows - start)
+        crng = np.random.default_rng([seed, start])
+        order_of_line = crng.integers(0, n_orders, n)
+        quantity = np.round(crng.uniform(1.0, 50.0, n), 0)
+        unit_price = crng.uniform(900.0, 2100.0, n)
+        yield {
+            "orderkey": order_of_line,
+            "linenumber": crng.integers(1, 8, n),
+            "custkey": cust_of_order[order_of_line],
+            "partkey": crng.integers(0, n_part, n),
+            "suppkey": crng.integers(0, n_supp, n),
+            "quantity": quantity,
+            "extendedprice": np.round(quantity * unit_price, 2),
+            "discount": np.round(crng.uniform(0.0, 0.10, n), 2),
+            "tax": np.round(crng.uniform(0.0, 0.08, n), 2),
+            "returnflag": np.array(
+                crng.choice(_FLAGS, n, p=[0.25, 0.5, 0.25]), dtype=object
+            ),
+            "linestatus": np.array(crng.choice(_STATUSES, n), dtype=object),
+            "shipdate": orderdates[order_of_line] + crng.integers(1, 122, n),
+            "orderdate": orderdates[order_of_line],
+            "shipmode": np.array(crng.choice(_MODES, n), dtype=object),
+            "orderpriority": np.array(order_prio[order_of_line], dtype=object),
+            "shippriority": np.zeros(n, dtype=np.int64),
+        }

@@ -1,0 +1,573 @@
+"""Tests for the columnar storage plane.
+
+Covers the dictionary pages / encoded columns, the structured lineage
+sidecar, zero-copy relation slicing (and the aliasing hazard ENG006
+guards), and the on-disk chunk format round-trip. Property-based tests
+at the bottom fuzz the encode/decode and disk round-trips over the nasty
+corners: None (null masks), NaN (identity-distinct), empty batches, and
+single-distinct-key columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.lint import lint_source
+from repro.batching import Partitioner
+from repro.core.values import LineageRef
+from repro.errors import ReproError
+from repro.kernels.codec import factorize_cells
+from repro.relational import ColumnType, Relation, Schema, relation_from_columns
+from repro.storage import (
+    DictPage,
+    DiskTable,
+    EncodedColumn,
+    LineageColumn,
+    encode_relation,
+    ingest_chunks,
+    lineage_from_refs,
+    open_table,
+    write_relation,
+)
+from tests.conftest import KX_SCHEMA, random_kx
+
+fuzz = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+SALES_SCHEMA = Schema(
+    [
+        ("region", ColumnType.STRING),
+        ("qty", ColumnType.INT),
+        ("price", ColumnType.FLOAT),
+        ("returned", ColumnType.BOOL),
+    ]
+)
+
+
+def sales(n: int = 30, seed: int = 0, nulls: bool = False) -> Relation:
+    rng = np.random.default_rng(seed)
+    region = np.array(
+        [f"r{i}" for i in rng.integers(0, 4, n)], dtype=object
+    )
+    if nulls:
+        region[rng.random(n) < 0.2] = None
+    return relation_from_columns(
+        SALES_SCHEMA,
+        region=region,
+        qty=rng.integers(1, 50, n),
+        price=np.round(rng.gamma(3.0, 4.0, n), 3),
+        returned=rng.random(n) < 0.1,
+    )
+
+
+def assert_same_rows(a: Relation, b: Relation) -> None:
+    assert [c.name for c in a.schema] == [c.name for c in b.schema]
+    assert len(a) == len(b)
+    for c in a.schema:
+        x, y = a.columns[c.name], b.columns[c.name]
+        if x.dtype.kind == "O":
+            assert x.tolist() == y.tolist()
+        else:
+            np.testing.assert_array_equal(np.asarray(x), np.asarray(y))
+    np.testing.assert_array_equal(np.asarray(a.mult), np.asarray(b.mult))
+
+
+# ---------------------------------------------------------------------------
+# DictPage / EncodedColumn
+# ---------------------------------------------------------------------------
+
+
+class TestDictPage:
+    def test_first_appearance_codes(self):
+        page = DictPage()
+        codes = page.encode_values(["b", "a", "b", "c", "a"])
+        assert codes.tolist() == [0, 1, 0, 2, 1]
+        assert page.tolist() == ["b", "a", "c"]
+
+    def test_append_only_across_calls(self):
+        page = DictPage()
+        first = page.encode_values(["x", "y"])
+        second = page.encode_values(["z", "y", "x"])
+        assert first.tolist() == [0, 1]
+        assert second.tolist() == [2, 1, 0]
+        assert page.gather(first).tolist() == ["x", "y"]
+
+    def test_none_is_a_legal_value_and_masks(self):
+        page = DictPage()
+        arr = np.array(["a", None, "a", None], dtype=object)
+        codes, mask = page.encode_array(arr)
+        assert mask is not None
+        assert mask.tolist() == [False, True, False, True]
+        assert page.gather(codes).tolist() == ["a", None, "a", None]
+
+    def test_no_nulls_means_no_mask(self):
+        page = DictPage()
+        _, mask = page.encode_array(np.array(["a", "b"], dtype=object))
+        assert mask is None
+
+    def test_nan_objects_stay_identity_distinct(self):
+        # Two distinct NaN objects are distinct dict keys (NaN != NaN but
+        # dict lookup short-circuits on identity) — exactly the codec's
+        # _dict_factorize_column semantics.
+        nan1, nan2 = float("nan"), float("nan")
+        page = DictPage()
+        codes = page.encode_values([nan1, nan2, nan1])
+        assert codes.tolist() == [0, 1, 0]
+
+    def test_unhashable_values_raise(self):
+        with pytest.raises(TypeError):
+            DictPage().encode_values([["not", "hashable"]])
+
+
+class TestEncodedColumn:
+    def test_round_trip_and_canonical_objects(self):
+        arr = np.array(["u", "v", "u", "w"], dtype=object)
+        enc = EncodedColumn.encode(arr)
+        out = enc.materialize()
+        assert out.tolist() == arr.tolist()
+        assert out[0] is out[2]  # page gather canonicalizes cells
+
+    def test_take_and_slice_share_the_page(self):
+        enc = EncodedColumn.encode(np.array(["a", "b", "c", "a"], dtype=object))
+        taken = enc.take(np.array([3, 1]))
+        sliced = enc.slice(1, 3)
+        assert taken.page is enc.page and sliced.page is enc.page
+        assert taken.materialize().tolist() == ["a", "b"]
+        assert sliced.materialize().tolist() == ["b", "c"]
+        assert np.shares_memory(sliced.codes, enc.codes)
+
+    def test_concat_same_page(self):
+        enc = EncodedColumn.encode(np.array(["a", "b"], dtype=object))
+        out = enc.concat(enc.slice(0, 1))
+        assert out.page is enc.page
+        assert out.materialize().tolist() == ["a", "b", "a"]
+
+    def test_concat_translates_foreign_page(self):
+        left = EncodedColumn.encode(np.array(["a", "b"], dtype=object))
+        right = EncodedColumn.encode(np.array(["c", "b"], dtype=object))
+        out = left.concat(right)
+        assert out.page is left.page
+        assert out.materialize().tolist() == ["a", "b", "c", "b"]
+        # Translation extends left's page append-only: old codes intact.
+        assert left.materialize().tolist() == ["a", "b"]
+
+    def test_concat_merges_null_masks(self):
+        left = EncodedColumn.encode(np.array(["a", None], dtype=object))
+        right = EncodedColumn.encode(np.array(["b", "c"], dtype=object))
+        out = left.concat(right)
+        assert out.null_mask.tolist() == [False, True, False, False]
+        both = right.concat(left)
+        assert both.null_mask.tolist() == [False, False, False, True]
+
+
+# ---------------------------------------------------------------------------
+# encode_relation + sidecar flow through Relation operations
+# ---------------------------------------------------------------------------
+
+
+class TestEncodeRelation:
+    def test_encodes_object_columns_only(self):
+        rel = encode_relation(sales())
+        assert set(rel.encodings) == {"region"}
+        assert_same_rows(rel, sales())
+
+    def test_unhashable_cells_leave_column_unencoded(self):
+        schema = Schema([("k", ColumnType.STRING), ("x", ColumnType.FLOAT)])
+        k = np.empty(2, dtype=object)
+        k[:] = [["a"], ["b"]]  # lists are unhashable
+        rel = Relation(schema, {"k": k, "x": np.ones(2)})
+        assert encode_relation(rel).encodings == {}
+
+    def test_sidecar_survives_take_filter_slice(self):
+        rel = encode_relation(sales())
+        page = rel.encodings["region"].page
+        taken = rel.take(np.array([5, 1, 8]))
+        filtered = rel.filter(np.asarray(rel.columns["qty"]) > 10)
+        sliced = rel.slice(4, 20)
+        for out in (taken, filtered, sliced):
+            assert out.encodings["region"].page is page
+            assert (
+                out.encodings["region"].materialize().tolist()
+                == out.columns["region"].tolist()
+            )
+
+    def test_sidecar_survives_concat(self):
+        rel = encode_relation(sales())
+        out = rel.slice(0, 10).concat(rel.slice(10, 30))
+        assert out.encodings["region"].page is rel.encodings["region"].page
+        assert_same_rows(out, rel)
+
+    def test_concat_with_unencoded_relation_drops_sidecar(self):
+        rel = encode_relation(sales(10))
+        plain = sales(5, seed=3)
+        out = rel.concat(plain)
+        assert "region" not in out.encodings
+        assert len(out) == 15
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy slicing and the aliasing hazard
+# ---------------------------------------------------------------------------
+
+
+class TestZeroCopySlice:
+    def test_slice_aliases_parent_buffers(self):
+        rel = random_kx(100, seed=1)
+        view = rel.slice(10, 60)
+        assert len(view) == 50
+        for name in ("k", "x", "y"):
+            assert np.shares_memory(view.columns[name], rel.columns[name])
+        assert np.shares_memory(view.mult, rel.mult)
+
+    def test_take_copies(self):
+        rel = random_kx(50, seed=1)
+        out = rel.take(np.arange(10, 20))
+        for name in ("k", "x", "y"):
+            assert not np.shares_memory(out.columns[name], rel.columns[name])
+
+    def test_slice_then_mutate_is_caught_by_eng006(self):
+        # The hazard the lint exists for: writing through a slice would
+        # corrupt the parent (they alias). ENG006 flags the write site.
+        hazard = """
+def poke(rel):
+    view = rel.slice(0, 10)
+    view.columns["x"][0] = -1.0
+"""
+        diags = lint_source(hazard, path="src/repro/core/somewhere.py")
+        assert [d.rule_id for d in diags] == ["ENG006"]
+
+    def test_slice_bit_identical_to_take(self):
+        rel = encode_relation(sales(40, seed=2, nulls=True))
+        assert_same_rows(rel.slice(7, 31), rel.take(np.arange(7, 31)))
+
+
+class TestPartitionerZeroCopy:
+    def test_sequential_mode_yields_views(self):
+        rel = random_kx(200, seed=4)
+        batches = Partitioner(mode="sequential").partition(rel, 4)
+        assert sum(len(b) for b in batches) == 200
+        for b in batches:
+            assert np.shares_memory(b.columns["x"], rel.columns["x"])
+        joined = batches[0]
+        for b in batches[1:]:
+            joined = joined.concat(b)
+        assert_same_rows(joined, rel)
+
+    def test_shuffle_mode_still_gathers(self):
+        rel = random_kx(100, seed=4)
+        batches = Partitioner(mode="shuffle", seed=9).partition(rel, 3)
+        assert sum(len(b) for b in batches) == 100
+        # A shuffled batch is almost surely non-contiguous -> copied.
+        assert not np.shares_memory(batches[0].columns["x"], rel.columns["x"])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError):
+            Partitioner(mode="bogus")
+
+
+# ---------------------------------------------------------------------------
+# LineageColumn
+# ---------------------------------------------------------------------------
+
+
+def _ref_column(n: int, groups: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    pool = np.empty(groups, dtype=object)
+    pool[:] = [LineageRef(block_id=0, key=(g,), column="v") for g in range(groups)]
+    slots = rng.integers(0, groups, n).astype(np.int32)
+    return pool, slots
+
+
+class TestLineageColumn:
+    def test_factorized_honours_factorize_cells_contract(self):
+        # The contract is ``cells[codes[i]] is column[i]`` — the code
+        # *numbering* is free (factorize_cells sorts by id, the sidecar
+        # by first appearance); consumers only gather and re-partition.
+        pool, slots = _ref_column(50, 5, seed=3)
+        lin = lineage_from_refs("b", pool, slots)
+        column = pool[slots]
+        codes, cells = lin.factorized()
+        assert all(cells[c] is obj for c, obj in zip(codes, column))
+        ref_codes, ref_cells = factorize_cells(column)
+        assert len(cells) == len(ref_cells)
+        # Identical partitions: same-code pairs agree between the two.
+        np.testing.assert_array_equal(
+            codes[:, None] == codes[None, :],
+            ref_codes[:, None] == ref_codes[None, :],
+        )
+
+    def test_nd_mask_and_all_refs(self):
+        pool, slots = _ref_column(10, 3)
+        slots[4] = -1
+        lin = LineageColumn(pool, slots, np.zeros(10, np.int32), ("b",))
+        assert lin.nd_mask.tolist() == (slots >= 0).tolist()
+        assert not lin.all_refs
+        assert lin.factorized() is None  # mixed columns fall back
+
+    def test_take_slice_preserve_pool(self):
+        pool, slots = _ref_column(20, 4)
+        lin = lineage_from_refs("b", pool, slots)
+        assert lin.take(np.array([3, 7])).pool is pool
+        assert lin.slice(5, 15).pool is pool
+        assert len(lin.slice(5, 15)) == 10
+
+    def test_concat_requires_shared_pool(self):
+        pool, slots = _ref_column(10, 3)
+        lin = lineage_from_refs("b", pool, slots)
+        assert len(lin.concat(lin.slice(0, 4))) == 14
+        other_pool, other_slots = _ref_column(10, 3, seed=1)
+        assert lin.concat(lineage_from_refs("b", other_pool, other_slots)) is None
+
+    def test_empty_factorized(self):
+        pool, _ = _ref_column(1, 2)
+        lin = lineage_from_refs("b", pool, np.empty(0, dtype=np.int32))
+        codes, cells = lin.factorized()
+        assert len(codes) == 0 and len(cells) == 0
+
+
+# ---------------------------------------------------------------------------
+# On-disk chunk tables
+# ---------------------------------------------------------------------------
+
+
+class TestDiskRoundTrip:
+    def test_write_relation_round_trip(self, tmp_path):
+        rel = sales(100, seed=5, nulls=True)
+        table = write_relation(str(tmp_path / "t"), rel, chunk_rows=32)
+        assert table.num_rows == 100
+        assert table.num_chunks == 4
+        assert_same_rows(table.relation(), rel)
+
+    def test_chunks_concat_to_whole(self, tmp_path):
+        rel = sales(50, seed=6)
+        table = write_relation(str(tmp_path / "t"), rel, chunk_rows=20)
+        joined = None
+        for chunk in table.iter_chunks():
+            joined = chunk if joined is None else joined.concat(chunk)
+        assert_same_rows(joined, rel)
+
+    def test_one_page_shared_across_chunks(self, tmp_path):
+        rel = sales(60, seed=7)
+        table = write_relation(str(tmp_path / "t"), rel, chunk_rows=16)
+        page = table.page("region")
+        for chunk in table.iter_chunks():
+            assert chunk.encodings["region"].page is page
+
+    def test_numeric_chunks_are_memmap_views(self, tmp_path):
+        rel = sales(40, seed=8)
+        table = write_relation(str(tmp_path / "t"), rel, chunk_rows=10)
+        chunk = table.chunk(1)
+        base = chunk.columns["price"]
+        while isinstance(getattr(base, "base", None), np.ndarray):
+            base = base.base
+        assert isinstance(base, np.memmap)
+        with pytest.raises(ValueError):
+            chunk.columns["price"][0] = 0.0  # mode="r" maps are read-only
+
+    def test_ingest_mapping_chunks(self, tmp_path):
+        schema = Schema([("k", ColumnType.INT), ("x", ColumnType.FLOAT)])
+        chunks = [
+            {"k": np.array([1, 2]), "x": np.array([0.5, 1.5])},
+            {"k": np.array([3]), "x": np.array([2.5])},
+        ]
+        table = ingest_chunks(str(tmp_path / "t"), schema, chunks)
+        assert table.num_rows == 3
+        assert table.relation().columns["k"].tolist() == [1, 2, 3]
+
+    def test_dictionary_grows_across_chunks(self, tmp_path):
+        schema = Schema([("s", ColumnType.STRING)])
+        chunks = [
+            {"s": np.array(["a", "b"], dtype=object)},
+            {"s": np.array(["c", "a"], dtype=object)},
+        ]
+        table = ingest_chunks(str(tmp_path / "t"), schema, chunks)
+        assert table.page("s").tolist() == ["a", "b", "c"]
+        assert table.relation().columns["s"].tolist() == ["a", "b", "c", "a"]
+
+    def test_empty_relation_round_trip(self, tmp_path):
+        rel = sales(30, seed=1).slice(0, 0)
+        table = write_relation(str(tmp_path / "t"), rel)
+        assert table.num_rows == 0
+        assert len(table.relation()) == 0
+
+    def test_open_table_rejects_non_table(self, tmp_path):
+        (tmp_path / "meta.json").write_text('{"format": "something-else"}')
+        with pytest.raises(ReproError):
+            open_table(str(tmp_path))
+
+    def test_ragged_chunk_rejected(self, tmp_path):
+        schema = Schema([("a", ColumnType.INT), ("b", ColumnType.INT)])
+        with pytest.raises(ReproError):
+            ingest_chunks(
+                str(tmp_path / "t"),
+                schema,
+                [{"a": np.array([1, 2]), "b": np.array([1])}],
+            )
+
+    def test_chunk_index_out_of_range(self, tmp_path):
+        table = write_relation(str(tmp_path / "t"), sales(10), chunk_rows=5)
+        with pytest.raises(ReproError):
+            table.chunk(2)
+
+    def test_reopen_by_path(self, tmp_path):
+        rel = sales(25, seed=9, nulls=True)
+        write_relation(str(tmp_path / "t"), rel, chunk_rows=8)
+        assert_same_rows(open_table(str(tmp_path / "t")).relation(), rel)
+        assert isinstance(open_table(str(tmp_path / "t")), DiskTable)
+
+
+# ---------------------------------------------------------------------------
+# _from_parts
+# ---------------------------------------------------------------------------
+
+
+class TestFromParts:
+    def test_matches_public_constructor(self):
+        rel = random_kx(20, seed=2)
+        rebuilt = Relation._from_parts(
+            rel.schema, dict(rel.columns), rel.mult, rel.trial_mults
+        )
+        assert_same_rows(rebuilt, rel)
+        assert rebuilt.encodings == {} and rebuilt.lineage == {}
+
+    def test_sidecars_attach(self):
+        rel = encode_relation(sales(10))
+        rebuilt = Relation._from_parts(
+            rel.schema,
+            dict(rel.columns),
+            rel.mult,
+            None,
+            encodings=dict(rel.encodings),
+        )
+        assert rebuilt.encodings["region"].page is rel.encodings["region"].page
+
+    def test_default_sidecar_dicts_are_not_shared_mutable_state(self):
+        a = Relation._from_parts(
+            KX_SCHEMA,
+            {
+                "k": np.zeros(1, dtype=np.int64),
+                "x": np.zeros(1),
+                "y": np.zeros(1),
+            },
+            np.ones(1),
+            None,
+        )
+        assert a.encodings == {}
+        # The shared empty default must never be written to; attaching
+        # goes through _from_parts kwargs, giving a fresh dict.
+        b = encode_relation(sales(3))
+        assert b.encodings and a.encodings == {}
+
+
+# ---------------------------------------------------------------------------
+# Property-based round trips
+# ---------------------------------------------------------------------------
+
+cell = st.one_of(
+    st.none(),
+    st.text(max_size=6),
+    st.sampled_from(["dup", "dup2"]),  # force repeats
+)
+
+
+@fuzz
+@given(st.lists(cell, max_size=60))
+def test_prop_page_round_trip(values):
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = values
+    page = DictPage()
+    codes, mask = page.encode_array(arr)
+    assert page.gather(codes).tolist() == values
+    if mask is not None:
+        assert mask.tolist() == [v is None for v in values]
+    else:
+        assert all(v is not None for v in values)
+    # Re-encoding through a fresh page agrees cell for cell.
+    again = EncodedColumn.encode(arr)
+    assert again.materialize().tolist() == values
+
+
+@fuzz
+@given(st.lists(cell, max_size=40), st.lists(cell, max_size=40))
+def test_prop_cross_page_concat(left_vals, right_vals):
+    def col(values):
+        arr = np.empty(len(values), dtype=object)
+        arr[:] = values
+        return EncodedColumn.encode(arr)
+
+    out = col(left_vals).concat(col(right_vals))
+    assert out.materialize().tolist() == left_vals + right_vals
+    nulls = [v is None for v in left_vals + right_vals]
+    if out.null_mask is not None:
+        assert out.null_mask.tolist() == nulls
+    else:
+        assert not any(nulls)
+
+
+@fuzz
+@given(
+    values=st.lists(
+        st.one_of(st.none(), st.sampled_from(["a", "b", "c"])),
+        max_size=50,
+    ),
+    chunk_rows=st.integers(min_value=1, max_value=16),
+)
+def test_prop_disk_round_trip(values, chunk_rows, tmp_path_factory):
+    strings = np.empty(len(values), dtype=object)
+    strings[:] = values
+    rel = relation_from_columns(
+        Schema([("s", ColumnType.STRING), ("x", ColumnType.FLOAT)]),
+        s=strings,
+        x=np.arange(len(values), dtype=np.float64),
+    )
+    path = str(tmp_path_factory.mktemp("chunks") / "t")
+    table = write_relation(path, rel, chunk_rows=chunk_rows)
+    assert_same_rows(table.relation(), rel)
+    total = 0
+    for chunk in table.iter_chunks():
+        total += len(chunk)
+        enc = chunk.encodings.get("s")
+        if enc is not None and enc.null_mask is not None:
+            assert enc.null_mask.tolist() == [
+                v is None for v in chunk.columns["s"].tolist()
+            ]
+    assert total == table.num_rows
+
+
+@fuzz
+@given(
+    n=st.integers(min_value=0, max_value=40),
+    chunk_rows=st.integers(min_value=1, max_value=5),
+)
+def test_prop_single_distinct_key(n, chunk_rows, tmp_path_factory):
+    strings = np.empty(n, dtype=object)
+    strings[:] = ["only"] * n
+    rel = relation_from_columns(
+        Schema([("s", ColumnType.STRING)]), s=strings
+    )
+    path = str(tmp_path_factory.mktemp("single") / "t")
+    table = write_relation(path, rel, chunk_rows=chunk_rows)
+    assert table.page("s").tolist() == (["only"] if n else [])
+    assert_same_rows(table.relation(), rel)
+
+
+@fuzz
+@given(st.lists(st.integers(min_value=-3, max_value=3), min_size=1, max_size=40))
+def test_prop_lineage_round_trip(raw_slots):
+    groups = 4
+    pool = np.empty(groups, dtype=object)
+    pool[:] = [LineageRef(block_id=0, key=(g,), column="v") for g in range(groups)]
+    slots = np.asarray([abs(s) % groups for s in raw_slots], dtype=np.int32)
+    lin = lineage_from_refs("b", pool, slots)
+    column = pool[slots]
+    codes, cells = lin.factorized()
+    assert all(cells[c] is obj for c, obj in zip(codes, column))
+    assert len(cells) == len(set(slots.tolist()))
+    # Slicing then concatenating reproduces the original factorization.
+    half = len(slots) // 2
+    rejoined = lin.slice(0, half).concat(lin.slice(half, len(slots)))
+    np.testing.assert_array_equal(rejoined.slots, lin.slots)
