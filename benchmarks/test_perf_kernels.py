@@ -124,6 +124,10 @@ def run_mode(catalog: Catalog, plan, vectorize: bool) -> dict:
         pass
     total = time.perf_counter() - t0
     engine.executor.close()
+    # The sanitizer's zero-cost-when-off claim (DESIGN.md §13) is a perf
+    # guarantee, so the perf suite is where it gets enforced: no config
+    # here sets sanitize=True, so not a single sanitizer cycle may show.
+    assert engine.metrics.sanitize_seconds == 0.0
     return {
         "total_seconds": total,
         "per_batch_seconds": [bm.wall_seconds for bm in engine.metrics.batches],

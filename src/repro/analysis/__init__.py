@@ -21,7 +21,17 @@ contracts the executor assumes:
 * :mod:`repro.analysis.verify` — the runtime contract verifier behind
   ``--verify`` / ``OnlineConfig(verify=True)``, which re-checks the
   static claims dynamically (input fingerprints around ``process``,
-  state-key snapshots per batch, cross-thread store-write detection).
+  state-key snapshots per batch, cross-thread store-write detection);
+* :mod:`repro.analysis.races` — the plan-level race detector behind
+  ``iolap analyze --races``: derives a read/write effect summary per
+  compiled execution unit (store entries, block edges, carried
+  sidecars) and checks the summaries against the wave schedule's
+  happens-before order (RACE0xx/RACE1xx/RACE2xx);
+* :mod:`repro.analysis.sanitize` — the TSan-style runtime buffer
+  sanitizer behind ``--sanitize`` / ``OnlineConfig(sanitize=True)``:
+  freezes zero-copy buffers during ``process``, tracks aliased-view
+  provenance, and cross-checks per-batch buffer access logs between
+  executor threads (SAN0xx).
 
 Everything reports through :class:`AnalysisDiagnostic`: a structured
 (rule id, location, message, fix hint) record instead of a runtime
@@ -34,18 +44,25 @@ __all__ = [
     "AnalysisDiagnostic",
     "AnalysisReport",
     "analyze_query",
+    "analyze_query_races",
     "check_plan",
+    "check_plan_races",
     "run_lint",
 ]
 
 
 def __getattr__(name: str) -> object:
-    # Lazy re-exports: repro.core imports the verifier from this package,
-    # so the package __init__ must not import repro.core back eagerly.
+    # Lazy re-exports: repro.core imports the verifier and sanitizer from
+    # this package, so the package __init__ must not import repro.core
+    # back eagerly.
     if name in ("check_plan", "analyze_query"):
         from repro.analysis import typecheck
 
         return getattr(typecheck, name)
+    if name in ("check_plan_races", "analyze_query_races"):
+        from repro.analysis import races
+
+        return getattr(races, name)
     if name == "run_lint":
         from repro.analysis.lint import run_lint
 

@@ -570,6 +570,22 @@ def _default_root() -> pathlib.Path:
     return pathlib.Path(repro.__file__).parent
 
 
+def _repo_relative(path: pathlib.Path) -> str:
+    """A ``src/repro/...``-style path, stable across invocation directories.
+
+    Diagnostic locations (and the ``# noqa`` baselines and CI artifacts
+    built from them) must not depend on where the linter was invoked
+    from, so paths are rebased onto the repository root — the nearest
+    ancestor holding a ``pyproject.toml``. Sources installed outside any
+    repository keep their absolute path.
+    """
+    resolved = path.resolve()
+    for parent in resolved.parents:
+        if (parent / "pyproject.toml").is_file():
+            return resolved.relative_to(parent).as_posix()
+    return resolved.as_posix()
+
+
 def run_lint(
     root: str | pathlib.Path | None = None,
     rules: Iterable[LintRule] | None = None,
@@ -578,15 +594,16 @@ def run_lint(
     ``repro`` package itself) and aggregate one report."""
     started = time.perf_counter()
     base = pathlib.Path(root) if root is not None else _default_root()
-    report = AnalysisReport(subject=f"lint:{base}")
+    report = AnalysisReport(subject=f"lint:{_repo_relative(base)}")
     for path in sorted(base.rglob("*.py")):
         source = path.read_text()
+        rel = _repo_relative(path)
         try:
-            diags = lint_source(source, str(path), rules)
+            diags = lint_source(source, rel, rules)
         except SyntaxError as exc:  # pragma: no cover - repo parses
             diags = [
                 AnalysisDiagnostic(
-                    "ENG000", f"{path}:{exc.lineno or 0}", f"cannot parse: {exc.msg}"
+                    "ENG000", f"{rel}:{exc.lineno or 0}", f"cannot parse: {exc.msg}"
                 )
             ]
         report.extend(diags)

@@ -25,10 +25,14 @@ installed ``repro`` sources::
     python -m repro.cli analyze                       # all bundled queries
     python -m repro.cli analyze --workload tpch --query Q17
     python -m repro.cli analyze --lint --json report.json
+    python -m repro.cli analyze --races               # race detector
     python -m repro.cli analyze "SELECT COUNT(*) AS n FROM sessions"
 
-Exit status is 1 if any analysis reported a violation. ``--verify`` (run
-mode) enables the runtime contract checks on top of normal execution.
+Exit status is 1 if any analysis reported an error-severity violation;
+warnings alone exit 0 unless ``--fail-on-warning`` promotes them (the CI
+setting). ``--verify`` (run mode) enables the runtime contract checks on
+top of normal execution; ``--sanitize`` (run mode) adds the TSan-style
+buffer sanitizer over zero-copy batch views.
 
 Output discipline: result rows (and the outputs of the ``trace`` /
 ``report`` / ``analyze`` subcommands) go to stdout; progress, warnings
@@ -166,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
         "isolation; results are unchanged",
     )
     parser.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the runtime buffer sanitizer (iolap engine): freeze "
+        "zero-copy batch buffers during process calls, track aliased-view "
+        "provenance, and cross-check per-batch buffer access between "
+        "executor threads; results are unchanged",
+    )
+    parser.add_argument(
         "--no-vectorize", action="store_true",
         help="run operator hot paths row by row instead of through the "
         "vectorized kernels (iolap engine); results are bit-identical, "
@@ -214,6 +225,17 @@ def build_analyze_parser() -> argparse.ArgumentParser:
         "violations (ENG0xx rules)",
     )
     parser.add_argument(
+        "--races", action="store_true",
+        help="run the plan-level race detector instead of the typechecker: "
+        "per-unit effect summaries checked against the wave schedule's "
+        "happens-before order (RACE0xx/RACE1xx/RACE2xx rules)",
+    )
+    parser.add_argument(
+        "--fail-on-warning", action="store_true",
+        help="exit 1 on warning-severity diagnostics too (the CI setting); "
+        "by default only errors fail the run",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="write all reports as a JSON array to PATH (the CI artifact)",
     )
@@ -260,6 +282,10 @@ def run_analyze(argv: Sequence[str]) -> int:
     from repro.analysis import analyze_query, check_plan, run_lint
 
     args = build_analyze_parser().parse_args(argv)
+    if args.races:
+        from repro.analysis import analyze_query_races, check_plan_races
+
+        analyze_query, check_plan = analyze_query_races, check_plan_races
     _configure_logging(_log_level(args))
     reports = []
 
@@ -298,9 +324,15 @@ def run_analyze(argv: Sequence[str]) -> int:
     for report in reports:
         print(report.format())
     failed = [r for r in reports if not r.ok]
-    total = sum(len(r.diagnostics) for r in reports)
+    errors = sum(
+        1 for r in reports for d in r.diagnostics if d.severity == "error"
+    )
+    warnings = sum(
+        1 for r in reports for d in r.diagnostics if d.severity != "error"
+    )
     print(f"analyzed {len(reports)} subject(s): "
-          f"{len(failed)} with violations, {total} finding(s)")
+          f"{len(failed)} with violations, "
+          f"{errors} error(s), {warnings} warning(s)")
 
     if args.json:
         import json as _json
@@ -312,7 +344,11 @@ def run_analyze(argv: Sequence[str]) -> int:
             log.error("cannot write report to %s: %s", args.json, exc)
             return 2
         log.info("report written to %s", args.json)
-    return 1 if failed else 0
+    if failed:
+        return 1
+    if warnings and args.fail_on_warning:
+        return 1
+    return 0
 
 
 def run_trace(argv: Sequence[str]) -> int:
@@ -458,6 +494,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             slack=args.slack,
             seed=args.seed,
             verify=args.verify,
+            sanitize=args.sanitize,
             vectorize=not args.no_vectorize,
             faults=args.faults,
             **(

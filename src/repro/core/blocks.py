@@ -168,6 +168,12 @@ class OnlineConfig:
     #: Base backoff seconds between unit retries (doubled per retry); 0
     #: retries immediately (the test/benchmark setting).
     unit_retry_backoff: float = 0.0
+    #: Run the TSan-style buffer sanitizer
+    #: (:class:`repro.analysis.sanitize.BufferSanitizer`): freeze every
+    #: buffer handed to ``process`` and every zero-copy view base, track
+    #: view provenance, and cross-check per-batch access logs between
+    #: ParallelExecutor threads. Off by default (zero cost when off).
+    sanitize: bool = False
 
 
 class RuntimeContext:
@@ -206,6 +212,14 @@ class RuntimeContext:
             from repro.analysis.verify import ContractVerifier
 
             self.verifier = ContractVerifier()
+        #: Runtime buffer sanitizer (``config.sanitize``), or None. Like
+        #: the verifier, imported lazily so the analysis layer stays off
+        #: the engine's import path unless requested.
+        self.sanitizer = None
+        if config.sanitize:
+            from repro.analysis.sanitize import BufferSanitizer
+
+            self.sanitizer = BufferSanitizer()
         #: Observability session (tracer + metrics registry + event bus).
         #: The inert NULL_OBS by default; the engine attaches a real one.
         self.obs = NULL_OBS
@@ -231,6 +245,8 @@ class RuntimeContext:
         self.obs = obs
         if self.verifier is not None and obs.enabled:
             self.verifier.emit = obs.tracer.warning
+        if self.sanitizer is not None and obs.enabled:
+            self.sanitizer.emit = obs.tracer.warning
 
     # -- metrics routing -----------------------------------------------------------
 

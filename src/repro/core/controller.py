@@ -101,6 +101,10 @@ class OnlineQueryEngine:
             self.catalog, self.streamed_table, len(streamed), self.config
         )
         ctx.attach_obs(obs)
+        if ctx.sanitizer is not None:
+            # Install the Relation.slice / DiskTable chunk-view aliasing
+            # hooks for the duration of this run (removed in the finally).
+            ctx.sanitizer.activate()
         self.metrics = RunMetrics()
 
         compiled.open(ctx)
@@ -142,6 +146,8 @@ class OnlineQueryEngine:
                         compiled, ctx, batches, i, delta, bm, baseline
                     )
                 bm.wall_seconds = time.perf_counter() - started
+                if ctx.sanitizer is not None:
+                    self.metrics.sanitize_seconds = ctx.sanitizer.seconds
                 self._maybe_checkpoint(ctx, i)
                 if obs.enabled:
                     self._sample_metrics(ctx, bm, i)
@@ -150,6 +156,8 @@ class OnlineQueryEngine:
         finally:
             if run_span:
                 run_span.__exit__(None, None, None)
+            if ctx.sanitizer is not None:
+                ctx.sanitizer.deactivate()
             compiled.close()
             obs.flush()
 

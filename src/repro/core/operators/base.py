@@ -230,6 +230,27 @@ def drive_pipeline(root: SpineOp, ctx: RuntimeContext) -> DeltaBatch:
     verifier = ctx.verifier
     if verifier is not None:
         verifier.before_process(root, delta, ctx)
+    sanitizer = ctx.sanitizer
+    if sanitizer is None:
+        out = _timed_process(root, delta, ctx)
+    else:
+        sanitizer.before_process(root, delta, ctx)
+        try:
+            out = _timed_process(root, delta, ctx)
+        except ValueError as err:
+            violation = sanitizer.translate_write_error(root, delta, ctx, err)
+            if violation is None:
+                raise
+            raise violation from err
+        finally:
+            sanitizer.release(root)
+        sanitizer.note_output(root, out)
+    if verifier is not None:
+        verifier.after_process(root, delta, ctx)
+    return out
+
+
+def _timed_process(root: SpineOp, delta: object, ctx: RuntimeContext) -> DeltaBatch:
     tracer = ctx.obs.tracer
     if tracer.enabled:
         with tracer.span(
@@ -248,8 +269,6 @@ def drive_pipeline(root: SpineOp, ctx: RuntimeContext) -> DeltaBatch:
         started = time.perf_counter()
         out = root.process(delta, ctx)
         ctx.metrics.add_op_seconds(root.label, time.perf_counter() - started)
-    if verifier is not None:
-        verifier.after_process(root, delta, ctx)
     return out
 
 

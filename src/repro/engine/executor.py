@@ -48,6 +48,8 @@ class SerialExecutor(BatchExecutor):
     def execute(self, units: Sequence[ExecutionUnit], ctx: RuntimeContext) -> None:
         if ctx.verifier is not None:
             ctx.verifier.begin_batch(ctx.batch_no)
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.begin_batch(ctx.batch_no, ctx.delta)
         tracer = ctx.obs.tracer
         for unit in units:
             started = time.perf_counter()
@@ -121,6 +123,8 @@ class ParallelExecutor(BatchExecutor):
     def execute(self, units: Sequence[ExecutionUnit], ctx: RuntimeContext) -> None:
         if ctx.verifier is not None:
             ctx.verifier.begin_batch(ctx.batch_no)
+        if ctx.sanitizer is not None:
+            ctx.sanitizer.begin_batch(ctx.batch_no, ctx.delta)
         pool = self._ensure_pool()
         tracer = ctx.obs.tracer
         scratches: list[tuple[int, BatchMetrics]] = []
@@ -162,6 +166,10 @@ class ParallelExecutor(BatchExecutor):
                     wave_span.__exit__(None, None, None)
             if failures:
                 break
+            if ctx.sanitizer is not None:
+                # Wave barrier: cross-check the per-batch buffer access
+                # log between the threads that just ran (SAN003).
+                ctx.sanitizer.check_batch()
         for _, scratch in sorted(scratches, key=lambda pair: pair[0]):
             ctx.metrics.merge_from(scratch)
         if buffers:

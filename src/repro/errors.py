@@ -95,3 +95,23 @@ class ContractViolationError(ReproError):
     :class:`~repro.state.StateStore` names, or two threads of one
     ParallelExecutor wave touching the same store entry.
     """
+
+
+class SanitizerViolationError(ReproError):
+    """The runtime buffer sanitizer caught an aliasing race (``--sanitize``).
+
+    Raised by :class:`repro.analysis.sanitize.BufferSanitizer` when an
+    operator writes in place into a frozen zero-copy buffer (``SAN001``),
+    a read-only memmapped :class:`~repro.storage.DiskTable` chunk
+    (``SAN002``), or when one base buffer is write-claimed from two
+    threads within a single batch (``SAN003``). Carries the rule id, the
+    writing operator's label, and the buffer's original owner(s).
+    """
+
+    def __init__(
+        self, rule_id: str, writer: str, owners: list[str], message: str
+    ) -> None:
+        super().__init__(message)
+        self.rule_id = rule_id
+        self.writer = writer
+        self.owners = owners

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any
 
 #: Bump whenever a field is added/removed/retyped in either dict below.
-RUN_METRICS_SCHEMA_VERSION = 1
+RUN_METRICS_SCHEMA_VERSION = 2
 
 _NUMBER = (int, float)
 
@@ -43,6 +43,7 @@ RUN_METRICS_FIELDS: dict[str, tuple[type, ...]] = {
     "num_recoveries": (int,),
     "pruning_disabled": (bool,),
     "analysis_seconds": _NUMBER,
+    "sanitize_seconds": _NUMBER,
     "op_seconds": (dict,),
     "batches": (list,),
 }

@@ -128,6 +128,11 @@ class RunMetrics:
     #: when the run skipped analysis); the harness records it so the
     #: analyzer's fixed per-query cost is visible next to execution time.
     analysis_seconds: float = 0.0
+    #: Wall seconds spent inside the runtime buffer sanitizer
+    #: (``OnlineConfig(sanitize=True)``): buffer freezes, provenance
+    #: tracking, and cross-thread access-log checks. Exactly 0.0 when
+    #: sanitizing is off — the perf suite asserts the zero-cost claim.
+    sanitize_seconds: float = 0.0
 
     def start_batch(self, batch_no: int) -> BatchMetrics:
         bm = BatchMetrics(batch_no)
@@ -186,6 +191,7 @@ class RunMetrics:
             "num_recoveries": self.num_recoveries,
             "pruning_disabled": self.pruning_disabled,
             "analysis_seconds": self.analysis_seconds,
+            "sanitize_seconds": self.sanitize_seconds,
             "op_seconds": self.total_op_seconds(),
             "batches": [bm.to_dict() for bm in self.batches],
         }

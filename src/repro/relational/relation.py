@@ -46,6 +46,18 @@ Row = dict[str, object]
 
 _NO_SIDECARS: dict = {}
 
+#: Aliasing-observer hook for :meth:`Relation.slice`, installed by the
+#: buffer sanitizer (``repro.analysis.sanitize``) via :func:`set_slice_hook`.
+#: Called as ``hook(base_relation, view_relation)`` after every slice; the
+#: default ``None`` keeps the hot path to a single comparison.
+_slice_hook: Callable[["Relation", "Relation"], None] | None = None
+
+
+def set_slice_hook(hook: Callable[["Relation", "Relation"], None] | None) -> None:
+    """Install (or clear, with ``None``) the zero-copy slice observer."""
+    global _slice_hook
+    _slice_hook = hook
+
 
 class Relation:
     """An immutable-by-convention columnar bag relation.
@@ -229,13 +241,16 @@ class Relation:
         """
         cols = {n: a[start:stop] for n, a in self.columns.items()}
         trials = None if self.trial_mults is None else self.trial_mults[start:stop]
-        return Relation._from_parts(
+        view = Relation._from_parts(
             self.schema,
             cols,
             self.mult[start:stop],
             trials,
             **self._map_sidecars("slice", start, stop),
         )
+        if _slice_hook is not None:
+            _slice_hook(self, view)
+        return view
 
     def scale(self, factor: float | np.ndarray) -> "Relation":
         """Multiply multiplicities (and trial multiplicities) by ``factor``."""

@@ -135,6 +135,13 @@ class InMemoryStateStore(StateStore):
     ``put``/``delete``; the ``--verify`` contract checker installs one to
     attribute store writes to operators and threads. ``None`` (the
     default) costs one attribute read per write.
+
+    Store *identity* is part of the engine's concurrency contract: each
+    operator owns exactly one store instance (adopted into the registry
+    under the operator's label), so the static race detector
+    (``iolap analyze --races``) keys its effect summaries by
+    ``id(store)`` — two execution units sharing one instance is exactly
+    the single-writer violation RACE001/RACE101 report.
     """
 
     def __init__(self) -> None:

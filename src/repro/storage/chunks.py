@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Iterator, Mapping
+from typing import Callable, Iterator, Mapping
 
 import numpy as np
 
@@ -40,6 +40,20 @@ _DISK_DTYPES = {
     ColumnType.BOOL: "|b1",
 }
 _CODES_DTYPE = "<i4"
+
+#: Aliasing-observer hook for memmapped chunk views, installed by the
+#: buffer sanitizer (``repro.analysis.sanitize``). Called as
+#: ``hook(disk_table, view_relation)`` for every relation built over the
+#: memory mapping; ``None`` (the default) costs one comparison per chunk.
+_chunk_view_hook: Callable[["DiskTable", Relation], None] | None = None
+
+
+def set_chunk_view_hook(
+    hook: Callable[["DiskTable", Relation], None] | None,
+) -> None:
+    """Install (or clear, with ``None``) the chunk-view observer."""
+    global _chunk_view_hook
+    _chunk_view_hook = hook
 
 
 class ChunkWriter:
@@ -221,13 +235,16 @@ class DiskTable:
                 cols[name] = enc.materialize()
             else:
                 cols[name] = buf
-        return Relation._from_parts(
+        view = Relation._from_parts(
             self.schema,
             cols,
             np.ones(n, dtype=np.float64),
             None,
             encodings=encodings,
         )
+        if _chunk_view_hook is not None:
+            _chunk_view_hook(self, view)
+        return view
 
     def chunk(self, i: int) -> Relation:
         """Chunk ``i`` as a relation; numeric columns are zero-copy views."""

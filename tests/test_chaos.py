@@ -13,6 +13,9 @@ Scale knobs (for the CI chaos-smoke job):
 
 * ``IOLAP_CHAOS_BATCHES`` — mini-batches per run (default 8)
 * ``IOLAP_CHAOS_TRIALS``  — bootstrap trials (default 8)
+* ``IOLAP_CHAOS_SANITIZE`` — set to ``1`` to run every engine with the
+  zero-copy aliasing sanitizer on (the CI race-smoke job does); results
+  must still be bit-identical to the fault-free run
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.workloads import CONVIVA_QUERIES, TPCH_QUERIES
 
 BATCHES = int(os.environ.get("IOLAP_CHAOS_BATCHES", "8"))
 TRIALS = int(os.environ.get("IOLAP_CHAOS_TRIALS", "8"))
+SANITIZE = os.environ.get("IOLAP_CHAOS_SANITIZE") == "1"
 
 #: unit retry at batch 3, partial replay at 5 and 8, corrupt snapshot at 6.
 FAULTS = "unit@3:aggregate,batch@5,checkpoint@6,batch@8"
@@ -51,6 +55,7 @@ def run_query(spec, catalog, executor, faults=None):
             faults=faults,
             checkpoint_interval=INTERVAL,
             unit_retry_attempts=2,
+            sanitize=SANITIZE,
         ),
         executor=executor,
     )

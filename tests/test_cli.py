@@ -236,3 +236,59 @@ class TestTraceWorkflow:
         code = main(["report", str(tmp_path / "nope.jsonl")])
         assert code == 2
         assert "cannot read trace" in capsys.readouterr().err
+
+
+class TestAnalyzeExit:
+    """Exit semantics of the analyze subcommand: errors fail the build,
+    warnings do so only under --fail-on-warning (the CI setting)."""
+
+    def run(self, argv, capsys):
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_clean_typecheck_exits_zero(self, capsys):
+        code, out, _ = self.run(
+            ["analyze", "--workload", "tpch", "--query", "Q6",
+             "--scale", "0.05"],
+            capsys,
+        )
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_clean_race_check_exits_zero(self, capsys):
+        code, out, _ = self.run(
+            ["analyze", "--races", "--workload", "tpch", "--query", "Q6",
+             "--scale", "0.05"],
+            capsys,
+        )
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_error_diagnostic_exits_one(self, capsys):
+        # Unplannable SQL is a TC101 *error* for the typechecker.
+        code, out, _ = self.run(
+            ["analyze", "FROBNICATE everything", "--scale", "0.05"], capsys
+        )
+        assert code == 1
+        assert "1 error(s)" in out
+
+    def test_warning_only_exits_zero(self, capsys):
+        # The same SQL is only a RACE000 *warning* for the race detector:
+        # there is nothing to schedule, hence nothing to race.
+        code, out, _ = self.run(
+            ["analyze", "FROBNICATE everything", "--races",
+             "--scale", "0.05"],
+            capsys,
+        )
+        assert code == 0
+        assert "1 warning(s)" in out
+
+    def test_fail_on_warning_promotes_to_one(self, capsys):
+        code, out, _ = self.run(
+            ["analyze", "FROBNICATE everything", "--races",
+             "--scale", "0.05", "--fail-on-warning"],
+            capsys,
+        )
+        assert code == 1
+        assert "1 warning(s)" in out

@@ -140,7 +140,7 @@ class TestMetricsSchema:
         return rm
 
     def test_schema_version_pinned(self):
-        assert RUN_METRICS_SCHEMA_VERSION == 1
+        assert RUN_METRICS_SCHEMA_VERSION == 2
 
     def test_golden_field_sets(self):
         # Adding/removing a metrics field must touch this test AND bump
@@ -151,7 +151,7 @@ class TestMetricsSchema:
             "schema_version", "num_batches", "total_seconds",
             "total_unit_seconds", "total_recomputed", "total_shipped_bytes",
             "num_recoveries", "pruning_disabled", "analysis_seconds",
-            "op_seconds", "batches",
+            "sanitize_seconds", "op_seconds", "batches",
         }
         assert set(data["batches"][0]) == {
             "batch_no", "wall_seconds", "unit_seconds", "new_tuples",
