@@ -16,6 +16,14 @@ saved traces::
 
     python -m repro.cli trace run.jsonl -o trace.json   # open in Perfetto
     python -m repro.cli report run.jsonl                # offline analysis
+    python -m repro.cli report run.jsonl --json         # pinned-schema JSON
+
+Live telemetry (continuous profiler + predictive cost model)::
+
+    python -m repro.cli --query Q1 --profile --profiles profiles.json
+    python -m repro.cli metrics --query Q1 --listen :9110   # Prometheus
+    python -m repro.cli metrics --query Q1 --metrics-textfile out.prom
+    python -m repro.cli top --query Q1 --plain              # hot spots
 
 The ``analyze`` subcommand runs the static analysis suite instead of
 executing anything: the plan typechecker over named workload queries or
@@ -108,6 +116,84 @@ def _log_level(args: argparse.Namespace) -> str:
     return "warning" if args.quiet else args.log_level
 
 
+def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="enable the continuous profiler (iolap engine): rolling "
+        "per-operator EWMA profiles and the predictive cost model; "
+        "results are bit-identical",
+    )
+    parser.add_argument(
+        "--profiles", metavar="PATH", default=None,
+        help="profiles.json artifact to load before and save after the "
+        "run (implies --profile); a warmed profile predicts batch cost "
+        "from the first batch",
+    )
+    parser.add_argument(
+        "--profile-stack", action="store_true",
+        help="also run the sampling stack profiler in a daemon thread "
+        "(implies --profile)",
+    )
+
+
+def _profile_config(args: argparse.Namespace) -> dict:
+    """OnlineConfig kwargs from the shared profiling flags."""
+    return {
+        "profile": args.profile or bool(args.profiles) or args.profile_stack,
+        "profile_path": args.profiles,
+        "profile_stack": args.profile_stack,
+        "target_rsd": args.stop_rsd,
+    }
+
+
+def _add_query_flags(parser: argparse.ArgumentParser) -> None:
+    """Query-selection + engine flags shared by ``metrics`` and ``top``."""
+    parser.add_argument("sql", nargs="?", help="SQL text to run")
+    parser.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default="conviva",
+        help="dataset to generate (default: conviva)",
+    )
+    parser.add_argument(
+        "--query", help="run a named benchmark query (e.g. Q17, C8) instead of SQL"
+    )
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale")
+    parser.add_argument("--seed", type=int, default=0, help="generator/engine seed")
+    parser.add_argument("--batches", type=int, default=20, help="mini-batch count")
+    parser.add_argument("--trials", type=int, default=100, help="bootstrap trials")
+    parser.add_argument(
+        "--stream", help="table to stream (default: the workload's fact table)"
+    )
+    parser.add_argument(
+        "--executor", choices=["serial", "parallel"], default="serial",
+        help="batch executor (default: serial)",
+    )
+    parser.add_argument(
+        "--stop-rsd", type=float, default=None,
+        help="stop once the worst relative stdev falls below this",
+    )
+
+
+def _resolve_query(args: argparse.Namespace):
+    """(catalog, plan, streamed table) from shared flags, or None."""
+    generate, queries, default_stream = _WORKLOADS[args.workload]
+    catalog = generate(scale=args.scale, seed=args.seed).catalog()
+    if args.query:
+        if args.query not in queries:
+            log.error("unknown query %r; try --list-queries", args.query)
+            return None
+        spec = queries[args.query]
+        return catalog, spec.plan, spec.streamed_table
+    if args.sql:
+        try:
+            plan = plan_sql(args.sql, catalog.schemas())
+        except ReproError as exc:
+            log.error("SQL error: %s", exc)
+            return None
+        return catalog, plan, args.stream or default_stream
+    log.error("nothing to run: pass SQL text or --query")
+    return None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -195,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="take a recovery state checkpoint every N batches (iolap "
         "engine; 0 disables, default: engine default)",
     )
+    _add_profile_flags(parser)
     _add_logging_flags(parser)
     return parser
 
@@ -273,6 +360,68 @@ def build_report_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--top", type=int, default=10, help="individual spans to list (default: 10)"
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable summary (schema pinned by "
+        "repro.obs.report.REPORT_FIELDS) instead of the text report",
+    )
+    _add_logging_flags(parser)
+    return parser
+
+
+def build_metrics_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli metrics",
+        description="Run a query while exporting live engine telemetry: "
+        "a Prometheus /metrics endpoint (--listen) and/or an atomically "
+        "rewritten exposition textfile (--metrics-textfile).",
+    )
+    _add_query_flags(parser)
+    parser.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="serve /metrics in Prometheus text format from a daemon "
+        "thread while the query runs (e.g. ':9110'; port 0 picks a "
+        "free port, logged at startup)",
+    )
+    parser.add_argument(
+        "--metrics-textfile", metavar="PATH", default=None,
+        help="atomically rewrite PATH with the Prometheus exposition "
+        "after every batch (node-exporter textfile collector idiom; "
+        "the scrape-less CI mode)",
+    )
+    parser.add_argument(
+        "--hold", type=float, default=0.0, metavar="SECONDS",
+        help="keep serving --listen this many seconds after the run "
+        "completes, so a scraper can collect the final state (default: 0)",
+    )
+    _add_profile_flags(parser)
+    _add_logging_flags(parser)
+    return parser
+
+
+def build_top_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli top",
+        description="Live per-operator hot-spot view of an online run: "
+        "EWMA self times, row throughput, |U_i| ND rows, state growth, "
+        "and the cost model's batches-to-convergence estimate.",
+    )
+    _add_query_flags(parser)
+    parser.add_argument(
+        "--target-rsd", type=float, default=0.05,
+        help="accuracy target the convergence ETA counts down to "
+        "(default: 0.05)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=12,
+        help="operators to show per frame (default: 12)",
+    )
+    parser.add_argument(
+        "--plain", action="store_true",
+        help="print newline-separated frames instead of ANSI screen "
+        "refreshes (non-tty / CI mode)",
+    )
+    _add_profile_flags(parser)
     _add_logging_flags(parser)
     return parser
 
@@ -391,7 +540,9 @@ def run_trace(argv: Sequence[str]) -> int:
 
 def run_report(argv: Sequence[str]) -> int:
     """The ``report`` subcommand: offline analysis of a saved event log."""
-    from repro.obs.report import TraceSummary, render_report
+    import json as _json
+
+    from repro.obs.report import TraceSummary, render_report, validate_report
 
     args = build_report_parser().parse_args(argv)
     _configure_logging(_log_level(args))
@@ -400,11 +551,135 @@ def run_report(argv: Sequence[str]) -> int:
     except (OSError, ValueError) as exc:
         log.error("cannot read trace %s: %s", args.trace, exc)
         return 2
-    print(render_report(summary, top=args.top))
+    if args.json:
+        doc = summary.to_dict(top=args.top)
+        validate_report(doc)  # never ship an artifact the schema rejects
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_report(summary, top=args.top))
     return 0
 
 
-_SUBCOMMANDS = {"analyze": run_analyze, "trace": run_trace, "report": run_report}
+def run_metrics_cmd(argv: Sequence[str]) -> int:
+    """The ``metrics`` subcommand: run a query, export live telemetry."""
+    from repro.obs import MetricsObservability
+    from repro.obs.export import MetricsHTTPServer, TextfileExporter, parse_listen
+
+    args = build_metrics_parser().parse_args(argv)
+    _configure_logging(_log_level(args))
+    if not args.listen and not args.metrics_textfile:
+        log.error(
+            "metrics: pass --listen HOST:PORT and/or --metrics-textfile PATH"
+        )
+        return 2
+    resolved = _resolve_query(args)
+    if resolved is None:
+        return 2
+    catalog, plan, streamed = resolved
+
+    obs = MetricsObservability()
+    server = None
+    if args.listen:
+        try:
+            host, port = parse_listen(args.listen)
+            server = MetricsHTTPServer(obs.metrics, host, port).start()
+        except (ValueError, OSError) as exc:
+            log.error("cannot serve metrics on %r: %s", args.listen, exc)
+            return 2
+        log.info("serving metrics at %s", server.url)
+    exporter = (
+        TextfileExporter(args.metrics_textfile, obs.metrics)
+        if args.metrics_textfile
+        else None
+    )
+    engine = OnlineQueryEngine(
+        catalog,
+        streamed,
+        OnlineConfig(num_trials=args.trials, seed=args.seed,
+                     **_profile_config(args)),
+        executor=args.executor,
+        obs=obs,
+    )
+    try:
+        for partial in engine.run(plan, args.batches):
+            if exporter is not None:
+                try:
+                    exporter.write()
+                except OSError as exc:
+                    log.error("cannot write %s: %s", args.metrics_textfile, exc)
+                    return 2
+            rsd = partial.max_relative_stdev()
+            log.info(
+                "[batch %3d/%d %7.1f ms] %s",
+                partial.batch_no, partial.num_batches,
+                partial.metrics.wall_seconds * 1000,
+                f"rel.stdev {rsd:.4f}" if rsd == rsd else "rel.stdev n/a",
+            )
+            if args.stop_rsd is not None and rsd == rsd and rsd < args.stop_rsd:
+                break
+    finally:
+        engine.executor.close()
+        if server is not None:
+            if args.hold > 0:
+                import time as _time
+
+                log.info("holding %s for %.1f s", server.url, args.hold)
+                _time.sleep(args.hold)
+            server.stop()
+    if exporter is not None:
+        log.info("exposition written to %s (%d write(s))",
+                 args.metrics_textfile, exporter.writes)
+    return 0
+
+
+def run_top(argv: Sequence[str]) -> int:
+    """The ``top`` subcommand: live per-operator hot-spot frames."""
+    from repro.obs.export import ANSI_CLEAR, TopView
+
+    args = build_top_parser().parse_args(argv)
+    _configure_logging(_log_level(args))
+    resolved = _resolve_query(args)
+    if resolved is None:
+        return 2
+    catalog, plan, streamed = resolved
+    config_kwargs = _profile_config(args)
+    config_kwargs["profile"] = True  # the view *is* the profiler's state
+    view = TopView(target_rsd=args.target_rsd, top=args.top)
+    engine = OnlineQueryEngine(
+        catalog,
+        streamed,
+        OnlineConfig(num_trials=args.trials, seed=args.seed, **config_kwargs),
+        executor=args.executor,
+    )
+    seen_rows = 0
+    try:
+        for partial in engine.run(plan, args.batches):
+            bm = partial.metrics
+            seen_rows += bm.new_tuples
+            rsd = partial.max_relative_stdev()
+            frame = view.frame(
+                engine.profiler, partial.batch_no, partial.num_batches,
+                rsd, bm.new_tuples, seen_rows, bm.wall_seconds,
+            )
+            if args.plain:
+                print(frame + "\n")
+            else:
+                sys.stdout.write(ANSI_CLEAR + frame + "\n")
+            sys.stdout.flush()
+            if args.stop_rsd is not None and rsd == rsd and rsd < args.stop_rsd:
+                break
+    finally:
+        engine.executor.close()
+    return 0
+
+
+_SUBCOMMANDS = {
+    "analyze": run_analyze,
+    "trace": run_trace,
+    "report": run_report,
+    "metrics": run_metrics_cmd,
+    "top": run_top,
+}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -497,6 +772,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             sanitize=args.sanitize,
             vectorize=not args.no_vectorize,
             faults=args.faults,
+            **_profile_config(args),
             **(
                 {"checkpoint_interval": args.checkpoint_interval}
                 if args.checkpoint_interval is not None
@@ -539,6 +815,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             log.info("slowest operators: %s", ", ".join(
                 f"{label} {seconds*1000:.1f} ms" for label, seconds in slowest
             ))
+    cal = engine.metrics.cost_calibration
+    if cal.get("predictions"):
+        log.info(
+            "cost model: %d prediction(s), mae %.1f ms, mape %.1f%%",
+            cal["predictions"], cal["mae_seconds"] * 1000, cal["mape"] * 100,
+        )
+    if args.profiles:
+        log.info("profiles written to %s", args.profiles)
     if args.metrics_out:
         try:
             with open(args.metrics_out, "w") as fh:

@@ -67,6 +67,9 @@ class OnlineQueryEngine:
         self.metrics = RunMetrics()
         #: Periodic state checkpoints; re-armed from the config per run.
         self._checkpoints = CheckpointManager(0)
+        #: Continuous profiler of the current run
+        #: (``OnlineConfig(profile=True)``), or None.
+        self.profiler = None
 
     def run(
         self,
@@ -83,6 +86,18 @@ class OnlineQueryEngine:
         batches = self.partitioner.partition(streamed, num_batches)
 
         obs = self.obs
+        profiler = None
+        if self.config.profile:
+            from repro.obs.profile import ContinuousProfiler
+            from repro.obs.session import MetricsObservability
+
+            if not obs.enabled:
+                # The profiler feeds on registry gauges (nd.rows, per-op
+                # rows). A metrics-only session makes exactly those live
+                # without span allocation or event emission.
+                obs = MetricsObservability()
+            profiler = ContinuousProfiler.for_run(self.config, plan)
+        self.profiler = profiler
         tracer = obs.tracer
         try:
             compiled = compile_online(plan, self.catalog, self.streamed_table)
@@ -129,6 +144,12 @@ class OnlineQueryEngine:
         try:
             for i, delta in enumerate(batches, start=1):
                 bm = self.metrics.start_batch(i)
+                if profiler is not None:
+                    t0 = time.perf_counter()
+                    bm.predicted_seconds = profiler.predict_batch_seconds(
+                        len(delta)
+                    )
+                    self.metrics.profile_seconds += time.perf_counter() - t0
                 started = time.perf_counter()
                 if tracer.enabled:
                     with tracer.span(
@@ -152,12 +173,21 @@ class OnlineQueryEngine:
                 if obs.enabled:
                     self._sample_metrics(ctx, bm, i)
                     obs.flush()
-                yield self._make_result(compiled, ctx, i, len(batches), bm)
+                partial = self._make_result(compiled, ctx, i, len(batches), bm)
+                if profiler is not None:
+                    t0 = time.perf_counter()
+                    profiler.observe_batch(ctx, bm, partial)
+                    self._sample_cost_metrics(ctx, bm, profiler, len(delta))
+                    self.metrics.cost_calibration = profiler.calibration()
+                    self.metrics.profile_seconds += time.perf_counter() - t0
+                yield partial
         finally:
             if run_span:
                 run_span.__exit__(None, None, None)
             if ctx.sanitizer is not None:
                 ctx.sanitizer.deactivate()
+            if profiler is not None:
+                profiler.finish()
             compiled.close()
             obs.flush()
 
@@ -198,7 +228,7 @@ class OnlineQueryEngine:
             except RangeIntegrityError as failure:
                 bm.recovered = True
                 attempts += 1
-                self.obs.metrics.counter("recovery.failures").inc()
+                ctx.obs.metrics.counter("recovery.failures").inc()
                 if attempts > _MAX_RECOVERIES:
                     if not ctx.monitor.enabled:
                         # A conservative replay cannot record sentinels, so
@@ -210,7 +240,7 @@ class OnlineQueryEngine:
                     # replay and re-run this batch one more time.
                     ctx.monitor.enabled = False
                     self.metrics.pruning_disabled = True
-                    self.obs.tracer.warning(
+                    ctx.obs.tracer.warning(
                         "pruning-disabled", batch=batch_no,
                         message="recovery budget exhausted; finishing the "
                         "run in conservative (no-pruning) mode",
@@ -345,6 +375,33 @@ class OnlineQueryEngine:
         for name, value in KERNEL_STATS.snapshot().items():
             reg.gauge(f"kernel.{name}").set(value)
         ctx.obs.emit_metrics(batch=batch_no)
+
+    def _sample_cost_metrics(
+        self, ctx: RuntimeContext, bm: BatchMetrics, profiler, batch_rows: int
+    ) -> None:
+        """Publish the cost model's predictions-vs-actuals gauges.
+
+        Live-exporter feed (Prometheus scrapes read the registry
+        directly); with tracing on, the values also land in the next
+        batch's counter-event sample.
+        """
+        reg = ctx.obs.metrics
+        if not reg.enabled:
+            return
+        reg.gauge("costmodel.predicted_seconds").set(bm.predicted_seconds)
+        reg.gauge("costmodel.actual_seconds").set(
+            bm.wall_seconds - bm.recovery_seconds
+        )
+        cal = profiler.calibration()
+        reg.gauge("costmodel.mape").set(cal["mape"])
+        reg.gauge("costmodel.predictions").set(cal["predictions"])
+        target = self.config.target_rsd
+        if target:
+            remaining = profiler.predict_batches_to_ci(
+                target, batch_rows, ctx.seen_rows
+            )
+            if remaining is not None:
+                reg.gauge("costmodel.batches_to_target").set(remaining)
 
     def _make_result(
         self,

@@ -265,6 +265,15 @@ def _timed_process(root: SpineOp, delta: object, ctx: RuntimeContext) -> DeltaBa
             reg = ctx.obs.metrics
             reg.counter("op.rows_in", op=root.label).inc(rows_in)
             reg.counter("op.rows_out", op=root.label).inc(out.total_rows)
+    elif ctx.obs.metrics.enabled:
+        # Metrics-only session (continuous profiler without tracing):
+        # record row throughput, skip span allocation entirely.
+        started = time.perf_counter()
+        out = root.process(delta, ctx)
+        ctx.metrics.add_op_seconds(root.label, time.perf_counter() - started)
+        reg = ctx.obs.metrics
+        reg.counter("op.rows_in", op=root.label).inc(_delta_rows(delta))
+        reg.counter("op.rows_out", op=root.label).inc(out.total_rows)
     else:
         started = time.perf_counter()
         out = root.process(delta, ctx)

@@ -50,16 +50,9 @@ class SerialExecutor(BatchExecutor):
             ctx.verifier.begin_batch(ctx.batch_no)
         if ctx.sanitizer is not None:
             ctx.sanitizer.begin_batch(ctx.batch_no, ctx.delta)
-        tracer = ctx.obs.tracer
         for unit in units:
             started = time.perf_counter()
-            if tracer.enabled:
-                with tracer.span(
-                    "unit", cat="exec", batch=ctx.batch_no, unit=unit.label
-                ):
-                    _run_with_retry(unit, ctx)
-            else:
-                _run_with_retry(unit, ctx)
+            _run_with_retry(unit, ctx)
             elapsed = time.perf_counter() - started
             ctx.metrics.add_op_seconds(unit.label, elapsed)
             ctx.metrics.unit_seconds += elapsed
@@ -213,11 +206,7 @@ def _run_unit(
         tracer.push_buffer(buffer)
     started = time.perf_counter()
     try:
-        if buffer is not None:
-            with tracer.span("unit", cat="exec", batch=ctx.batch_no, unit=unit.label):
-                _run_with_retry(unit, ctx)
-        else:
-            _run_with_retry(unit, ctx)
+        _run_with_retry(unit, ctx)
         return None
     except BaseException as err:  # noqa: BLE001 — forwarded to the scheduler
         return err
@@ -243,12 +232,25 @@ def _run_with_retry(unit: ExecutionUnit, ctx: RuntimeContext) -> None:
     idempotent body; none of the built-in units raise those.)
     """
     retries = ctx.config.unit_retry_attempts
+    tracer = ctx.obs.tracer
     attempt = 0
     while True:
         attempt += 1
         try:
-            ctx.fault("unit", unit.label)
-            unit.run(ctx)
+            # One "unit" span per *attempt*, tagged with its ordinal: a
+            # retried unit renders as separate slices instead of
+            # overlapping spans with identical args (backoff sleeps fall
+            # in the gap between slices, where they belong).
+            if tracer.enabled:
+                with tracer.span(
+                    "unit", cat="exec", batch=ctx.batch_no,
+                    unit=unit.label, attempt=attempt,
+                ):
+                    ctx.fault("unit", unit.label)
+                    unit.run(ctx)
+            else:
+                ctx.fault("unit", unit.label)
+                unit.run(ctx)
             return
         except BaseException as err:  # noqa: BLE001 — filtered on `transient`
             if not getattr(err, "transient", False) or attempt > retries:

@@ -6,6 +6,12 @@ here: :func:`validate_run_metrics` rejects both missing and unknown
 fields. Adding a metric therefore requires touching this module — and
 bumping :data:`RUN_METRICS_SCHEMA_VERSION` — deliberately, instead of
 silently changing the artifact shape.
+
+Versioning: the validators accept the current version *and* the
+immediately preceding one (archived artifacts outlive engine releases),
+each against its own frozen field set. v2 -> v3 added the continuous
+profiler / cost-model fields (``predicted_seconds`` per batch,
+``profile_seconds`` + ``cost_calibration`` per run).
 """
 
 from __future__ import annotations
@@ -13,12 +19,12 @@ from __future__ import annotations
 from typing import Any
 
 #: Bump whenever a field is added/removed/retyped in either dict below.
-RUN_METRICS_SCHEMA_VERSION = 2
+RUN_METRICS_SCHEMA_VERSION = 3
 
 _NUMBER = (int, float)
 
-#: Field name -> accepted types, for one ``BatchMetrics.to_dict()``.
-BATCH_METRICS_FIELDS: dict[str, tuple[type, ...]] = {
+#: Field name -> accepted types, one ``BatchMetrics.to_dict()`` (v2 set).
+BATCH_METRICS_FIELDS_V2: dict[str, tuple[type, ...]] = {
     "batch_no": (int,),
     "wall_seconds": _NUMBER,
     "unit_seconds": _NUMBER,
@@ -32,8 +38,14 @@ BATCH_METRICS_FIELDS: dict[str, tuple[type, ...]] = {
     "recovery_seconds": _NUMBER,
 }
 
-#: Field name -> accepted types, for one ``RunMetrics.to_dict()``.
-RUN_METRICS_FIELDS: dict[str, tuple[type, ...]] = {
+#: Field name -> accepted types, for one ``BatchMetrics.to_dict()``.
+BATCH_METRICS_FIELDS: dict[str, tuple[type, ...]] = {
+    **BATCH_METRICS_FIELDS_V2,
+    "predicted_seconds": _NUMBER,
+}
+
+#: Field name -> accepted types, one ``RunMetrics.to_dict()`` (v2 set).
+RUN_METRICS_FIELDS_V2: dict[str, tuple[type, ...]] = {
     "schema_version": (int,),
     "num_batches": (int,),
     "total_seconds": _NUMBER,
@@ -46,6 +58,18 @@ RUN_METRICS_FIELDS: dict[str, tuple[type, ...]] = {
     "sanitize_seconds": _NUMBER,
     "op_seconds": (dict,),
     "batches": (list,),
+}
+
+#: Field name -> accepted types, for one ``RunMetrics.to_dict()``.
+RUN_METRICS_FIELDS: dict[str, tuple[type, ...]] = {
+    **RUN_METRICS_FIELDS_V2,
+    "profile_seconds": _NUMBER,
+    "cost_calibration": (dict,),
+}
+
+_FIELDS_BY_VERSION: dict[int, tuple[dict, dict]] = {
+    2: (RUN_METRICS_FIELDS_V2, BATCH_METRICS_FIELDS_V2),
+    3: (RUN_METRICS_FIELDS, BATCH_METRICS_FIELDS),
 }
 
 
@@ -74,9 +98,17 @@ def _check_fields(
             )
 
 
-def validate_batch_metrics(data: Any) -> None:
+def validate_batch_metrics(
+    data: Any, version: int = RUN_METRICS_SCHEMA_VERSION
+) -> None:
     """Validate one serialized ``BatchMetrics``; raise ``ValueError``."""
-    _check_fields(data, BATCH_METRICS_FIELDS, "batch metrics")
+    try:
+        _, batch_fields = _FIELDS_BY_VERSION[version]
+    except KeyError:
+        raise ValueError(
+            f"unsupported batch metrics schema version {version!r}"
+        ) from None
+    _check_fields(data, batch_fields, "batch metrics")
     for label, nbytes in data["state_bytes"].items():
         if not isinstance(label, str) or isinstance(nbytes, bool) or not isinstance(nbytes, int):
             raise ValueError(f"state_bytes entry {label!r} must map str -> int")
@@ -86,13 +118,22 @@ def validate_batch_metrics(data: Any) -> None:
 
 
 def validate_run_metrics(data: Any) -> None:
-    """Validate a full ``RunMetrics.to_dict()`` artifact (recursively)."""
-    _check_fields(data, RUN_METRICS_FIELDS, "run metrics")
-    if data["schema_version"] != RUN_METRICS_SCHEMA_VERSION:
+    """Validate a full ``RunMetrics.to_dict()`` artifact (recursively).
+
+    Accepts the current schema version and the previous one; every
+    version is checked against its own frozen field set, so a v2
+    artifact with v3 fields (or vice versa) still fails.
+    """
+    if not isinstance(data, dict):
+        raise ValueError("run metrics must be a JSON object")
+    version = data.get("schema_version")
+    fields = _FIELDS_BY_VERSION.get(version)  # type: ignore[arg-type]
+    if fields is None:
         raise ValueError(
-            f"run metrics schema version {data['schema_version']!r} != "
-            f"{RUN_METRICS_SCHEMA_VERSION}"
+            f"run metrics schema version {version!r} not in "
+            f"{sorted(_FIELDS_BY_VERSION)}"
         )
+    _check_fields(data, fields[0], "run metrics")
     if data["num_batches"] != len(data["batches"]):
         raise ValueError(
             f"num_batches={data['num_batches']} but {len(data['batches'])} "
@@ -100,6 +141,6 @@ def validate_run_metrics(data: Any) -> None:
         )
     for i, batch in enumerate(data["batches"]):
         try:
-            validate_batch_metrics(batch)
+            validate_batch_metrics(batch, version=version)  # type: ignore[arg-type]
         except ValueError as exc:
             raise ValueError(f"batches[{i}]: {exc}") from None

@@ -22,6 +22,7 @@ See DESIGN.md §9 for the span taxonomy and the event schema.
 
 from repro.obs.chrome import to_chrome, write_chrome
 from repro.obs.convergence import ConvergenceReporter
+from repro.obs.costmodel import CostModel
 from repro.obs.events import (
     EVENT_KINDS,
     EVENT_SCHEMA_VERSION,
@@ -38,8 +39,27 @@ from repro.obs.registry import (
     NullRegistry,
     metric_key,
 )
-from repro.obs.report import TraceSummary, render_report
-from repro.obs.session import NULL_OBS, Observability
+from repro.obs.export import (
+    MetricsHTTPServer,
+    TextfileExporter,
+    TopView,
+    parse_listen,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.profile import (
+    ContinuousProfiler,
+    ProfileStore,
+    QueryProfile,
+    plan_signature,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA_VERSION,
+    TraceSummary,
+    render_report,
+    validate_report,
+)
+from repro.obs.session import NULL_OBS, MetricsObservability, Observability
 from repro.obs.sinks import EventBus, EventSink, JsonlSink, MemorySink
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, TraceBuffer, Tracer
 
@@ -49,7 +69,10 @@ __all__ = [
     "NULL_OBS",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "REPORT_SCHEMA_VERSION",
+    "ContinuousProfiler",
     "ConvergenceReporter",
+    "CostModel",
     "Counter",
     "EventBus",
     "EventSink",
@@ -57,19 +80,30 @@ __all__ = [
     "Histogram",
     "JsonlSink",
     "MemorySink",
+    "MetricsHTTPServer",
+    "MetricsObservability",
     "MetricsRegistry",
     "NullRegistry",
     "NullTracer",
     "Observability",
+    "ProfileStore",
+    "QueryProfile",
     "Span",
+    "TextfileExporter",
+    "TopView",
     "TraceBuffer",
     "TraceSummary",
     "Tracer",
     "metric_key",
+    "parse_listen",
+    "parse_prometheus_text",
+    "plan_signature",
+    "prometheus_text",
     "read_events",
     "render_report",
     "to_chrome",
     "validate_event",
     "validate_events",
+    "validate_report",
     "write_chrome",
 ]

@@ -1,0 +1,166 @@
+"""Predictive cost and convergence model fitted from rolling profiles.
+
+Two trajectories from the paper's evaluation are modelled:
+
+* **per-batch cost** — ``seconds ≈ f(rows, |U_i|, state bytes)``, fitted
+  by recency-weighted ridge regression over the profile's recent batch
+  samples, blended with (and clamped around) the EWMA of recent batch
+  times so a sparse or collinear sample set degrades to a smoothed
+  moving average instead of extrapolating wildly;
+* **CI width** — the bootstrap's ``rsd ≈ c / sqrt(seen_rows)`` with the
+  constant ``c`` measured (EWMA) from the run's actual worst relative
+  stdev, which inverts into *batches until a target accuracy* — the SLA
+  primitive a bounded-error/bounded-time contract needs.
+
+Calibration is tracked continuously: every prediction issued before a
+batch is scored against that batch's actual wall seconds, and the run's
+mean absolute error / MAPE land in ``RunMetrics.cost_calibration``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.profile import QueryProfile
+
+#: Prediction clamp around the EWMA batch time: regression extrapolation
+#: may not stray beyond this factor in either direction.
+_CLAMP = 2.0
+
+#: Ridge regularization (features are normalized before the solve).
+_RIDGE = 1e-3
+
+
+class CostModel:
+    """Fits and serves per-batch cost + CI-width predictions."""
+
+    def __init__(self, profile: "QueryProfile", warmup_batches: int = 5):
+        self.profile = profile
+        self.warmup_batches = max(1, int(warmup_batches))
+        #: Regression coefficients over [1, rows, nd_rows, state_bytes]
+        #: in normalized feature space, or None (EWMA fallback).
+        self._coef: np.ndarray | None = None
+        self._feature_scale: np.ndarray | None = None
+        #: Calibration accumulators (prediction vs actual).
+        self.predictions = 0
+        self.abs_error_sum = 0.0
+        self.rel_error_sum = 0.0
+        self.refit()
+
+    # -- fitting -----------------------------------------------------------------
+
+    def refit(self) -> None:
+        """Refit the regression from the profile's recent samples.
+
+        Cheap (≤256×4 lstsq); the profiler calls it once per batch.
+        """
+        samples = self.profile.samples
+        if len(samples) < max(4, self.warmup_batches):
+            self._coef = None
+            return
+        data = np.asarray(samples, dtype=np.float64)
+        x = data[:, :3]  # rows, nd_rows, state_bytes
+        y = data[:, 3]
+        # Normalize features so the ridge penalty is scale-free.
+        scale = np.maximum(np.abs(x).max(axis=0), 1.0)
+        xn = x / scale
+        design = np.column_stack([np.ones(len(xn)), xn])
+        # Recency weighting: newest sample weighs ~3x the oldest.
+        w = np.linspace(1.0, 3.0, len(design))
+        wd = design * w[:, None]
+        gram = wd.T @ design + _RIDGE * np.eye(design.shape[1])
+        try:
+            coef = np.linalg.solve(gram, wd.T @ y)
+        except np.linalg.LinAlgError:
+            self._coef = None
+            return
+        self._coef = coef
+        self._feature_scale = scale
+
+    # -- prediction --------------------------------------------------------------
+
+    def predict_batch_seconds(
+        self,
+        batch_rows: int,
+        nd_rows: float | None = None,
+        state_bytes: float | None = None,
+    ) -> float:
+        """Predicted wall seconds of the next batch; 0.0 pre-warm-up.
+
+        Missing features default to the most recent observed levels
+        (last sample), matching the "next batch looks like the current
+        state of the run" assumption.
+        """
+        prof = self.profile
+        samples = prof.samples
+        if len(samples) < self.warmup_batches:
+            return 0.0
+        ewma = prof.batch_seconds.get()
+        if ewma <= 0.0:
+            return 0.0
+        if self._coef is None or self._feature_scale is None:
+            return ewma
+        last = samples[-1]
+        feats = np.array(
+            [
+                float(batch_rows),
+                float(nd_rows if nd_rows is not None else last[1]),
+                float(state_bytes if state_bytes is not None else last[2]),
+            ]
+        )
+        xn = feats / self._feature_scale
+        pred = float(self._coef[0] + self._coef[1:] @ xn)
+        # Regression handles feature drift (growing ND sets, state);
+        # the clamp keeps a degenerate fit within sanity of the EWMA.
+        return float(min(max(pred, ewma / _CLAMP), ewma * _CLAMP))
+
+    def predict_batches_to_ci(
+        self, target_rsd: float, batch_rows: int, seen_rows: int
+    ) -> int | None:
+        """Batches still needed until the worst rsd falls below target.
+
+        Returns 0 when the target is already met, None when the model
+        has no measured CI constant yet (deterministic queries, or the
+        first batches of a cold run). Inverts ``rsd = c/√n`` for the row
+        count the target needs, then converts to batches.
+        """
+        c = self.profile.ci_c.get()
+        if c <= 0.0 or target_rsd <= 0.0:
+            return None
+        if batch_rows <= 0:
+            return None
+        current_rsd = c / math.sqrt(seen_rows) if seen_rows > 0 else math.inf
+        if current_rsd <= target_rsd:
+            return 0
+        rows_needed = (c / target_rsd) ** 2 - seen_rows
+        return max(1, int(math.ceil(rows_needed / batch_rows)))
+
+    # -- calibration -------------------------------------------------------------
+
+    def score(self, predicted: float, actual: float) -> None:
+        """Fold one issued prediction's error into the calibration."""
+        self.predictions += 1
+        err = abs(predicted - actual)
+        self.abs_error_sum += err
+        if actual > 0.0:
+            self.rel_error_sum += err / actual
+
+    def calibration(self) -> dict:
+        """Calibration summary (the ``RunMetrics.cost_calibration`` dict)."""
+        if not self.predictions:
+            return {
+                "predictions": 0,
+                "mae_seconds": 0.0,
+                "mape": 0.0,
+                "warmup_batches": self.warmup_batches,
+            }
+        return {
+            "predictions": self.predictions,
+            "mae_seconds": self.abs_error_sum / self.predictions,
+            "mape": self.rel_error_sum / self.predictions,
+            "warmup_batches": self.warmup_batches,
+        }

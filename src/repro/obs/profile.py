@@ -1,0 +1,558 @@
+"""Continuous profiling: rolling per-operator profiles of an online run.
+
+The profiler turns the engine's per-batch raw counters into *rolling
+EWMA profiles* keyed by query shape — the per-operator self-times,
+rows-in/out throughput, state growth, and ND-set-size deltas the cost
+model (:mod:`repro.obs.costmodel`) fits its per-batch cost and CI-width
+trajectories from. Profiles persist to a ``profiles.json`` artifact and
+reload across runs, so a warmed profile predicts from the first batch of
+the next execution of the same plan.
+
+Design constraints (the PR 3/4 observability discipline):
+
+* **zero-cost when off** — nothing in this module is imported unless
+  ``OnlineConfig(profile=True)``; the controller's hot loop pays one
+  ``is None`` test per batch;
+* **bit-identical when on** — the profiler only *reads* engine state
+  (``BatchMetrics``, the metrics registry, ``PartialResult`` estimates)
+  on the controller thread between batches; it never touches operator
+  state, RNG draws, or the batch schedule;
+* **deterministic keying** — profiles are keyed by
+  :func:`plan_signature`, a content hash of ``PlanNode.describe()``
+  (operator labels embed object ids and are unstable across processes;
+  the describe rendering is not).
+
+An optional sampling stack profiler (:class:`StackSampler`, armed by
+``OnlineConfig(profile_stack=True)``) runs in a daemon thread reading
+``sys._current_frames()`` — purely observational, so the determinism
+guarantee is unaffected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import threading
+import time
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.blocks import RuntimeContext
+    from repro.core.result import PartialResult
+    from repro.metrics.stats import BatchMetrics
+    from repro.relational.algebra import PlanNode
+
+#: Pinned on-disk schema tag of the ``profiles.json`` artifact.
+PROFILES_SCHEMA = "iolap-profiles-v1"
+
+#: Default smoothing factor: ~the last 5 batches dominate.
+EWMA_ALPHA = 0.3
+
+#: Per-query batch samples retained for the cost-model fit.
+MAX_SAMPLES = 256
+
+
+def plan_signature(plan: "PlanNode") -> str:
+    """Stable content hash of a plan shape (profile key across runs)."""
+    text = plan.describe()
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class Ewma:
+    """Exponentially weighted moving average with a sample count."""
+
+    __slots__ = ("alpha", "value", "count")
+
+    def __init__(self, alpha: float = EWMA_ALPHA, value: float | None = None,
+                 count: int = 0):
+        self.alpha = alpha
+        self.value = value
+        self.count = count
+
+    def update(self, x: float) -> float:
+        x = float(x)
+        if self.value is None:
+            self.value = x
+        else:
+            self.value = self.alpha * x + (1.0 - self.alpha) * self.value
+        self.count += 1
+        return self.value
+
+    def get(self, default: float = 0.0) -> float:
+        return default if self.value is None else self.value
+
+    def to_dict(self) -> dict:
+        return {"value": self.value, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: dict, alpha: float = EWMA_ALPHA) -> "Ewma":
+        return cls(alpha=alpha, value=data.get("value"),
+                   count=int(data.get("count", 0)))
+
+
+class OperatorProfile:
+    """Rolling EWMA profile of one operator / execution-unit label."""
+
+    __slots__ = (
+        "label", "self_seconds", "rows_in", "rows_out",
+        "state_bytes", "state_delta", "nd_rows", "nd_delta", "batches",
+    )
+
+    def __init__(self, label: str):
+        self.label = label
+        #: Per-batch self time (the op_seconds share of this label).
+        self.self_seconds = Ewma()
+        #: Rows in / rows out per batch (tracing or metrics session only).
+        self.rows_in = Ewma()
+        self.rows_out = Ewma()
+        #: Absolute state footprint and its batch-over-batch growth.
+        self.state_bytes = Ewma()
+        self.state_delta = Ewma()
+        #: |U_i| non-deterministic set size and its batch-over-batch delta.
+        self.nd_rows = Ewma()
+        self.nd_delta = Ewma()
+        self.batches = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "batches": self.batches,
+            "self_seconds": self.self_seconds.to_dict(),
+            "rows_in": self.rows_in.to_dict(),
+            "rows_out": self.rows_out.to_dict(),
+            "state_bytes": self.state_bytes.to_dict(),
+            "state_delta": self.state_delta.to_dict(),
+            "nd_rows": self.nd_rows.to_dict(),
+            "nd_delta": self.nd_delta.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OperatorProfile":
+        prof = cls(str(data["label"]))
+        prof.batches = int(data.get("batches", 0))
+        for name in ("self_seconds", "rows_in", "rows_out", "state_bytes",
+                     "state_delta", "nd_rows", "nd_delta"):
+            if name in data:
+                setattr(prof, name, Ewma.from_dict(data[name]))
+        return prof
+
+
+class QueryProfile:
+    """All rolling state for one query shape (one ``plan_signature``).
+
+    Operator labels embed object ids and differ between processes, so
+    cross-run aggregation keys operators by their *normalized* label
+    (:func:`normalize_label`); within one run the raw labels are kept so
+    live views (``iolap top``) can show the actual operators.
+    """
+
+    def __init__(self, signature: str, description: str = ""):
+        self.signature = signature
+        self.description = description
+        self.runs = 0
+        self.operators: dict[str, OperatorProfile] = {}
+        #: Whole-batch wall seconds and rows-per-batch EWMAs.
+        self.batch_seconds = Ewma()
+        self.batch_rows = Ewma()
+        #: CI convergence constant: rsd ≈ c / sqrt(seen_rows).
+        self.ci_c = Ewma()
+        #: Per-kernel counter rates (KernelStats deltas per batch).
+        self.kernels: dict[str, Ewma] = {}
+        #: Recent per-batch cost-model samples:
+        #: (rows, nd_rows, state_bytes, seconds).
+        self.samples: list[list[float]] = []
+
+    # -- updates -----------------------------------------------------------------
+
+    def operator(self, label: str) -> OperatorProfile:
+        prof = self.operators.get(label)
+        if prof is None:
+            prof = self.operators[label] = OperatorProfile(label)
+        return prof
+
+    def add_sample(self, rows: float, nd_rows: float, state_bytes: float,
+                   seconds: float) -> None:
+        self.samples.append([float(rows), float(nd_rows),
+                             float(state_bytes), float(seconds)])
+        if len(self.samples) > MAX_SAMPLES:
+            del self.samples[: len(self.samples) - MAX_SAMPLES]
+
+    def kernel(self, name: str) -> Ewma:
+        ew = self.kernels.get(name)
+        if ew is None:
+            ew = self.kernels[name] = Ewma()
+        return ew
+
+    # -- views -------------------------------------------------------------------
+
+    def hot_operators(self, top: int = 10) -> list[OperatorProfile]:
+        """Operators by EWMA self time, hottest first."""
+        return sorted(
+            self.operators.values(),
+            key=lambda p: -p.self_seconds.get(),
+        )[:top]
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "signature": self.signature,
+            "description": self.description,
+            "runs": self.runs,
+            "batch_seconds": self.batch_seconds.to_dict(),
+            "batch_rows": self.batch_rows.to_dict(),
+            "ci_c": self.ci_c.to_dict(),
+            "operators": {
+                key: prof.to_dict()
+                for key, prof in sorted(self.operators.items())
+            },
+            "kernels": {
+                name: ew.to_dict() for name, ew in sorted(self.kernels.items())
+            },
+            "samples": [list(s) for s in self.samples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryProfile":
+        prof = cls(str(data["signature"]), str(data.get("description", "")))
+        prof.runs = int(data.get("runs", 0))
+        prof.batch_seconds = Ewma.from_dict(data.get("batch_seconds", {}))
+        prof.batch_rows = Ewma.from_dict(data.get("batch_rows", {}))
+        prof.ci_c = Ewma.from_dict(data.get("ci_c", {}))
+        for key, op in (data.get("operators") or {}).items():
+            prof.operators[key] = OperatorProfile.from_dict(op)
+        for name, ew in (data.get("kernels") or {}).items():
+            prof.kernels[name] = Ewma.from_dict(ew)
+        prof.samples = [
+            [float(v) for v in s] for s in (data.get("samples") or [])
+        ][-MAX_SAMPLES:]
+        return prof
+
+
+def normalize_label(label: str) -> str:
+    """Strip the per-process ``id()`` suffixes operator labels embed
+    (``select:140234...`` -> ``select``) so profiles aggregate across
+    runs of the same plan shape."""
+    head, sep, tail = label.partition(":")
+    if sep and tail.isdigit():
+        return head
+    return label
+
+
+class ProfileStore:
+    """The ``profiles.json`` artifact: query profiles keyed by signature."""
+
+    def __init__(self) -> None:
+        self.queries: dict[str, QueryProfile] = {}
+
+    def get_or_create(self, signature: str, description: str = "") -> QueryProfile:
+        prof = self.queries.get(signature)
+        if prof is None:
+            prof = self.queries[signature] = QueryProfile(signature, description)
+        elif description and not prof.description:
+            prof.description = description
+        return prof
+
+    @classmethod
+    def load(cls, path: str) -> "ProfileStore":
+        """Load a profile artifact; missing or unreadable files yield an
+        empty store (profiles are an accelerator, never a dependency)."""
+        store = cls()
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return store
+        if not isinstance(data, dict) or data.get("schema") != PROFILES_SCHEMA:
+            return store
+        for sig, entry in (data.get("queries") or {}).items():
+            try:
+                store.queries[sig] = QueryProfile.from_dict(entry)
+            except (KeyError, TypeError, ValueError):
+                continue
+        return store
+
+    def save(self, path: str) -> None:
+        """Atomically write the artifact (write-temp + rename)."""
+        doc = {
+            "schema": PROFILES_SCHEMA,
+            "queries": {
+                sig: prof.to_dict() for sig, prof in sorted(self.queries.items())
+            },
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+
+class StackSampler:
+    """Sampling stack profiler: periodic ``sys._current_frames()`` reads.
+
+    Aggregates collapsed stacks (innermost ``repro`` frames) of the
+    thread that started it. Read-only with respect to engine state, so
+    arming it cannot change results; it is a daemon thread and dies with
+    the process if ``stop`` is never called.
+    """
+
+    def __init__(self, interval: float = 0.005, max_depth: int = 12):
+        self.interval = interval
+        self.max_depth = max_depth
+        self.counts: dict[str, int] = {}
+        self.samples = 0
+        self._target: int | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        self._target = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="iolap-stack-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            frames = sys._current_frames()
+            frame = frames.get(self._target)  # type: ignore[arg-type]
+            if frame is None:
+                continue
+            stack: list[str] = []
+            depth = 0
+            while frame is not None and depth < 64:
+                code = frame.f_code
+                if "repro" in code.co_filename:
+                    stack.append(code.co_name)
+                    if len(stack) >= self.max_depth:
+                        break
+                frame = frame.f_back
+                depth += 1
+            if not stack:
+                continue
+            key = ";".join(reversed(stack))
+            self.counts[key] = self.counts.get(key, 0) + 1
+            self.samples += 1
+
+    def top_stacks(self, top: int = 10) -> list[tuple[str, int]]:
+        return sorted(self.counts.items(), key=lambda kv: -kv[1])[:top]
+
+    def to_dict(self) -> dict:
+        return {
+            "samples": self.samples,
+            "interval_seconds": self.interval,
+            "top_stacks": [
+                {"stack": stack, "count": count}
+                for stack, count in self.top_stacks(20)
+            ],
+        }
+
+
+class ContinuousProfiler:
+    """Low-overhead per-run profiler driven by the controller.
+
+    Lifecycle (all on the controller thread):
+
+    * constructed once per :meth:`OnlineQueryEngine.run` via
+      :meth:`for_run` — loads ``profiles.json`` when a path is
+      configured and selects the plan's :class:`QueryProfile`;
+    * :meth:`predict_batch_seconds` before each batch (a cost-model
+      passthrough; 0.0 until the warm-up quota of samples exists);
+    * :meth:`observe_batch` after each batch — folds the batch's
+      ``BatchMetrics`` + registry gauges + partial-result CI widths into
+      the rolling profile, refreshes the cost model and its calibration;
+    * :meth:`finish` in the run's ``finally`` — persists the store.
+    """
+
+    def __init__(
+        self,
+        profile: QueryProfile,
+        store: ProfileStore | None = None,
+        path: str | None = None,
+        warmup_batches: int = 5,
+        stack: bool = False,
+    ):
+        from repro.obs.costmodel import CostModel
+
+        self.profile = profile
+        self.store = store
+        self.path = path
+        self.warmup_batches = warmup_batches
+        self.model = CostModel(profile, warmup_batches=warmup_batches)
+        self.sampler = StackSampler() if stack else None
+        #: Last observed per-op absolutes, for delta tracking.
+        self._last_nd: dict[str, float] = {}
+        self._last_state: dict[str, float] = {}
+        self._last_rows_in: dict[str, float] = {}
+        self._last_rows_out: dict[str, float] = {}
+        self._last_kernels: dict[str, float] = {}
+        self._last_nd_total = 0.0
+        self._last_state_total = 0.0
+        #: The prediction issued for the in-flight batch (or None).
+        self._pending_prediction: float | None = None
+        self.batches_observed = 0
+        profile.runs += 1
+        if self.sampler is not None:
+            self.sampler.start()
+
+    @classmethod
+    def for_run(cls, config, plan: "PlanNode") -> "ContinuousProfiler":
+        """Build the profiler the controller hangs off one run."""
+        path = getattr(config, "profile_path", None)
+        store = ProfileStore.load(path) if path else ProfileStore()
+        signature = plan_signature(plan)
+        description = plan.describe().splitlines()[0]
+        profile = store.get_or_create(signature, description)
+        return cls(
+            profile,
+            store=store,
+            path=path,
+            warmup_batches=getattr(config, "profile_warmup_batches", 5),
+            stack=getattr(config, "profile_stack", False),
+        )
+
+    # -- prediction --------------------------------------------------------------
+
+    def predict_batch_seconds(self, batch_rows: int) -> float:
+        """Predicted wall seconds of the next batch; 0.0 pre-warm-up.
+
+        The issued prediction is remembered so :meth:`observe_batch` can
+        score it against the actual once the batch lands.
+        """
+        pred = self.model.predict_batch_seconds(batch_rows)
+        self._pending_prediction = pred if pred > 0.0 else None
+        return pred
+
+    def predict_batches_to_ci(self, target_rsd: float, batch_rows: int,
+                              seen_rows: int) -> int | None:
+        """Batches still needed before the worst rsd drops under target."""
+        return self.model.predict_batches_to_ci(
+            target_rsd, batch_rows, seen_rows
+        )
+
+    # -- observation -------------------------------------------------------------
+
+    def observe_batch(
+        self,
+        ctx: "RuntimeContext",
+        bm: "BatchMetrics",
+        partial: "PartialResult",
+    ) -> None:
+        """Fold one finished batch into the rolling profile.
+
+        Called on the controller thread after the batch's metrics merge,
+        so every number read here is a consistent cut.
+        """
+        prof = self.profile
+        rows = float(bm.new_tuples)
+        # Recovery replay is a failure-path cost the model must not learn
+        # as the price of a normal batch; profile the net batch time.
+        seconds = max(0.0, bm.wall_seconds - bm.recovery_seconds)
+        prof.batch_rows.update(rows)
+        prof.batch_seconds.update(seconds)
+
+        # Per-operator self times + state footprints from BatchMetrics.
+        for label, op_seconds in bm.op_seconds.items():
+            prof.operator(label).self_seconds.update(op_seconds)
+        for label, nbytes in bm.state_bytes.items():
+            op = prof.operator(label)
+            op.state_bytes.update(nbytes)
+            op.state_delta.update(nbytes - self._last_state.get(label, 0.0))
+            self._last_state[label] = float(nbytes)
+        for label in bm.op_seconds:
+            prof.operator(label).batches += 1
+
+        # Registry-fed signals: rows in/out and |U_i| ND-set sizes. The
+        # registry is live whenever profiling is on (the engine swaps in
+        # a metrics-only session when tracing is off).
+        nd_total = 0.0
+        reg = ctx.obs.metrics
+        if reg.enabled:
+            for _key, name, labels, inst in reg.series():
+                op_label = labels.get("op")
+                if op_label is None:
+                    continue
+                if name == "nd.rows":
+                    value = float(inst.value)
+                    nd_total += value
+                    op = prof.operator(str(op_label))
+                    op.nd_rows.update(value)
+                    op.nd_delta.update(
+                        value - self._last_nd.get(str(op_label), 0.0)
+                    )
+                    self._last_nd[str(op_label)] = value
+                elif name == "op.rows_in":
+                    # Counters are cumulative; profile the per-batch delta.
+                    value = float(inst.value)
+                    prof.operator(str(op_label)).rows_in.update(
+                        value - self._last_rows_in.get(str(op_label), 0.0)
+                    )
+                    self._last_rows_in[str(op_label)] = value
+                elif name == "op.rows_out":
+                    value = float(inst.value)
+                    prof.operator(str(op_label)).rows_out.update(
+                        value - self._last_rows_out.get(str(op_label), 0.0)
+                    )
+                    self._last_rows_out[str(op_label)] = value
+        self._last_nd_total = nd_total
+        state_total = float(bm.total_state_bytes)
+        self._last_state_total = state_total
+
+        # Per-kernel counter deltas (process-global KernelStats).
+        from repro.kernels.stats import STATS as KERNEL_STATS
+
+        for name, value in KERNEL_STATS.snapshot().items():
+            delta = value - self._last_kernels.get(name, 0.0)
+            self._last_kernels[name] = float(value)
+            if delta:
+                prof.kernel(name).update(delta)
+
+        # CI-width trajectory: rsd ≈ c / sqrt(seen_rows)  =>  c = rsd·√n.
+        rsd = partial.max_relative_stdev()
+        if rsd == rsd and rsd > 0.0 and ctx.seen_rows > 0:
+            prof.ci_c.update(rsd * (ctx.seen_rows ** 0.5))
+
+        # Cost-model sample + calibration of the issued prediction.
+        prof.add_sample(rows, nd_total, state_total, seconds)
+        if self._pending_prediction is not None:
+            self.model.score(self._pending_prediction, seconds)
+            self._pending_prediction = None
+        self.model.refit()
+        self.batches_observed += 1
+
+    # -- current feature levels (for prediction parameterization) ----------------
+
+    @property
+    def last_nd_rows(self) -> float:
+        return self._last_nd_total
+
+    @property
+    def last_state_bytes(self) -> float:
+        return self._last_state_total
+
+    def calibration(self) -> dict:
+        """Current prediction-vs-actual calibration (RunMetrics payload)."""
+        return self.model.calibration()
+
+    def finish(self) -> None:
+        """Persist the profile artifact and stop the stack sampler."""
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self.store is not None and self.path:
+            try:
+                self.store.save(self.path)
+            except OSError:
+                # Persistence is best-effort; the run's results stand.
+                pass
+
+    def stack_report(self) -> dict | None:
+        return self.sampler.to_dict() if self.sampler is not None else None

@@ -111,6 +111,10 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._instruments: dict[str, object] = {}
+        #: Series key -> (metric name, labels); the structured view the
+        #: exporters need (the key string alone cannot be split back
+        #: safely once label values contain ``,`` or ``=``).
+        self._meta: dict[str, tuple[str, dict[str, object]]] = {}
 
     def _get(self, cls: type, name: str, labels: dict[str, object]) -> object:
         key = metric_key(name, labels)
@@ -120,6 +124,7 @@ class MetricsRegistry:
                 inst = self._instruments.get(key)
                 if inst is None:
                     inst = self._instruments[key] = cls()
+                    self._meta[key] = (name, dict(labels))
         if not isinstance(inst, cls):
             raise TypeError(
                 f"metric {key!r} already registered as {type(inst).__name__}"
@@ -134,6 +139,22 @@ class MetricsRegistry:
 
     def histogram(self, name: str, **labels: object) -> Histogram:
         return self._get(Histogram, name, labels)  # type: ignore[return-value]
+
+    def series(self) -> list[tuple[str, str, dict[str, object], object]]:
+        """All series as ``(key, name, labels, instrument)``, key-sorted.
+
+        The structured feed of the Prometheus exporter and the profiler;
+        instruments are live objects — read their current values, do not
+        mutate them.
+        """
+        with self._lock:
+            items = sorted(self._instruments.items())
+            meta = dict(self._meta)
+        out = []
+        for key, inst in items:
+            name, labels = meta.get(key, (key, {}))
+            out.append((key, name, labels, inst))
+        return out
 
     def snapshot(self) -> dict[str, object]:
         """All series, sorted by key; histograms as summary dicts."""
@@ -202,6 +223,9 @@ class NullRegistry:
 
     def histogram(self, name: str, **labels: object) -> _NullInstrument:
         return _NULL_INSTRUMENT
+
+    def series(self) -> list[tuple[str, str, dict[str, object], object]]:
+        return []
 
     def snapshot(self) -> dict[str, object]:
         return {}

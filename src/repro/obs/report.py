@@ -5,13 +5,81 @@ pinned schema, and renders the run's story: where the time went (slowest
 spans, by name and individually), how operator state grew batch over
 batch, the failure-recovery timeline, warnings, and the convergence of
 every uncertain result series.
+
+``iolap report --json`` emits :meth:`TraceSummary.to_dict`, whose field
+set is *pinned* (like the metrics artifact): :func:`validate_report`
+rejects missing and unknown top-level fields, so downstream dashboards
+can rely on the shape. Extend :data:`REPORT_FIELDS` — and bump
+:data:`REPORT_SCHEMA_VERSION` — to add fields.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.obs.events import read_events
+
+#: Bump whenever a field is added/removed/retyped in ``REPORT_FIELDS``.
+REPORT_SCHEMA_VERSION = 1
+
+_NUMBER = (int, float)
+
+#: Field name -> accepted types of one ``TraceSummary.to_dict()``.
+REPORT_FIELDS: dict[str, tuple[type, ...]] = {
+    "schema_version": (int,),
+    "num_events": (int,),
+    "by_kind": (dict,),
+    "num_batches": (int,),
+    "run_seconds": _NUMBER,
+    "span_rollup": (list,),
+    "slowest_spans": (list,),
+    "state_series": (dict,),
+    "recovery": (list,),
+    "warning_counts": (dict,),
+    "convergence": (list,),
+}
+
+
+def validate_report(data: Any) -> None:
+    """Validate one ``report --json`` artifact; raise ``ValueError``."""
+    if not isinstance(data, dict):
+        raise ValueError("report must be a JSON object")
+    version = data.get("schema_version")
+    if version != REPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"report schema version {version!r} != {REPORT_SCHEMA_VERSION}"
+        )
+    missing = set(REPORT_FIELDS) - set(data)
+    if missing:
+        raise ValueError(f"report is missing field(s) {sorted(missing)}")
+    unknown = set(data) - set(REPORT_FIELDS)
+    if unknown:
+        raise ValueError(
+            f"report has unknown field(s) {sorted(unknown)}; the report "
+            "schema is pinned — extend repro.obs.report.REPORT_FIELDS "
+            "(and bump REPORT_SCHEMA_VERSION) to add fields"
+        )
+    for name, types in REPORT_FIELDS.items():
+        value = data[name]
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise ValueError(
+                f"report field {name!r} has type {type(value).__name__}"
+            )
+    for row in data["span_rollup"]:
+        if set(row) != {"name", "count", "total_seconds", "max_seconds"}:
+            raise ValueError(f"bad span_rollup row {sorted(row)}")
+    for row in data["slowest_spans"]:
+        if set(row) != {"name", "detail", "track", "batch", "ts", "seconds"}:
+            raise ValueError(f"bad slowest_spans row {sorted(row)}")
+    for name, samples in data["state_series"].items():
+        if not isinstance(name, str) or not isinstance(samples, list):
+            raise ValueError(f"bad state_series entry {name!r}")
+    for row in data["convergence"]:
+        if set(row) != {
+            "group", "name", "samples", "first_rsd", "last_rsd",
+            "estimate", "ci_lo", "ci_hi",
+        }:
+            raise ValueError(f"bad convergence row {sorted(row)}")
 
 
 class TraceSummary:
@@ -93,6 +161,79 @@ class TraceSummary:
         ]
         timeline.sort(key=lambda e: e["ts"])
         return timeline
+
+    def to_dict(self, top: int = 10) -> dict:
+        """Machine-readable summary (``iolap report --json``).
+
+        The shape is pinned by :data:`REPORT_FIELDS` /
+        :func:`validate_report`; keep the two in sync.
+        """
+        warning_counts: dict[str, int] = {}
+        for w in self.warnings:
+            warning_counts[w["name"]] = warning_counts.get(w["name"], 0) + 1
+        convergence = []
+        for (group, name), events in sorted(self.convergence.items()):
+            first = (events[0].get("args") or {}).get("rsd")
+            last_args = events[-1].get("args") or {}
+            convergence.append(
+                {
+                    "group": group,
+                    "name": name,
+                    "samples": len(events),
+                    "first_rsd": first if isinstance(first, _NUMBER) else None,
+                    "last_rsd": (
+                        last_args.get("rsd")
+                        if isinstance(last_args.get("rsd"), _NUMBER)
+                        else None
+                    ),
+                    "estimate": last_args.get("estimate"),
+                    "ci_lo": last_args.get("ci_lo"),
+                    "ci_hi": last_args.get("ci_hi"),
+                }
+            )
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "num_events": len(self.events),
+            "by_kind": dict(sorted(self.by_kind.items())),
+            "num_batches": self.num_batches(),
+            "run_seconds": self.run_duration(),
+            "span_rollup": [
+                {
+                    "name": name,
+                    "count": count,
+                    "total_seconds": total,
+                    "max_seconds": peak,
+                }
+                for name, count, total, peak in self.span_rollup()
+            ],
+            "slowest_spans": [
+                {
+                    "name": span["name"],
+                    "detail": _span_detail(span),
+                    "track": span["track"],
+                    "batch": span.get("batch"),
+                    "ts": span["ts"],
+                    "seconds": span["dur"],
+                }
+                for span in self.slowest_spans(top)
+            ],
+            "state_series": {
+                name: [[batch, value] for batch, value in samples]
+                for name, samples in self.state_series().items()
+            },
+            "recovery": [
+                {
+                    "kind": event["kind"],
+                    "ts": event["ts"],
+                    "batch": event.get("batch"),
+                    "seconds": event.get("dur", 0.0),
+                    "args": dict(event.get("args") or {}),
+                }
+                for event in self.recovery_events()
+            ],
+            "warning_counts": warning_counts,
+            "convergence": convergence,
+        }
 
 
 def _span_detail(span: dict) -> str:

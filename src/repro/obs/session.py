@@ -65,6 +65,36 @@ class Observability:
         self.close()
 
 
+class MetricsObservability:
+    """A metrics-only session: live registry, inert tracer, no events.
+
+    The continuous profiler (``OnlineConfig(profile=True)``) needs the
+    registry's signals (``nd.rows``, per-op row counters, state gauges)
+    even when no trace sink is attached. This session makes exactly that
+    slice live: ``enabled`` is True so operators record their gauges,
+    but the tracer stays :data:`NULL_TRACER` (no span allocation) and
+    ``emit_metrics`` is a no-op (no per-batch registry -> event
+    sampling), keeping the profiling overhead to the registry writes
+    alone.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.bus = EventBus()
+        self.tracer: NullTracer = NULL_TRACER
+        self.metrics: MetricsRegistry = MetricsRegistry()
+
+    def emit_metrics(self, batch: int | None = None) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
 class _NullObservability:
     """Disabled observability: the zero-cost default."""
 

@@ -149,6 +149,14 @@ class InMemoryStateStore(StateStore):
         self._static: set[str] = set()
         self.observer: Any = None
         self.writes = 0
+        #: ``entry_bytes`` memo, keyed by the mutation counter: the
+        #: observability layer sizes every store once per batch for the
+        #: per-entry gauges *and* once for the Figure 9(b) accounting —
+        #: without the memo each batch walks every relation/sidecar
+        #: twice. Any ``put``/``delete`` bumps ``writes`` and thereby
+        #: invalidates; ``restore``/``clear`` bypass ``put`` and drop the
+        #: memo explicitly.
+        self._bytes_memo: tuple[int, dict[str, int]] | None = None
 
     def get(self, key: str, default: object = None) -> Any:
         return self._entries.get(key, default)
@@ -179,13 +187,19 @@ class InMemoryStateStore(StateStore):
     def clear(self) -> None:
         self._entries.clear()
         self._static.clear()
+        self._bytes_memo = None
 
     def entry_bytes(self) -> dict[str, int]:
+        memo = self._bytes_memo
+        if memo is not None and memo[0] == self.writes:
+            return memo[1]
         # One seen-set across entries: a dictionary page shared by two
         # entries (e.g. slices of the same encoded table) counts toward
         # the first entry that reaches it, once per store.
         seen: set[int] = set()
-        return {k: estimate_nbytes(v, seen) for k, v in self._entries.items()}
+        sizes = {k: estimate_nbytes(v, seen) for k, v in self._entries.items()}
+        self._bytes_memo = (self.writes, sizes)
+        return sizes
 
     def checkpoint(self) -> object:
         entries = {
@@ -202,3 +216,6 @@ class InMemoryStateStore(StateStore):
             for k, v in snapshot["entries"].items()
         }
         self._static = set(static)
+        # Restoring replaces entries without going through put(); the
+        # writes counter alone cannot witness the change.
+        self._bytes_memo = None

@@ -330,6 +330,53 @@ class TestUnitRetry:
         assert eng.metrics.num_recoveries == 0
         assert final.to_relation().bag_equal(final0.to_relation(), 9)
 
+    @pytest.mark.parametrize("executor", ["serial", "parallel"])
+    def test_retried_attempts_get_their_own_spans(self, executor):
+        # One "unit" span per *attempt*, tagged with its ordinal: two
+        # injected transient faults mean attempts 1 and 2 fail (span
+        # carries an ``error`` arg) and attempt 3 lands the unit.
+        catalog = make_catalog(n=1200)
+        _, _, sink = run_engine(
+            catalog, faults="unit@5:aggregate*2", num_batches=8,
+            executor=executor, unit_retry_attempts=2, with_obs=True,
+        )
+        unit_spans = [
+            e for e in sink.events
+            if e["kind"] == "span" and e["name"] == "unit"
+        ]
+        assert unit_spans
+        assert all("attempt" in e["args"] for e in unit_spans)
+        retried = [e for e in unit_spans if e["args"]["attempt"] > 1]
+        victims = {e["args"]["unit"] for e in retried}
+        assert len(victims) == 1, victims
+        attempts = sorted(
+            e["args"]["attempt"] for e in unit_spans
+            if e["args"]["unit"] in victims and e["batch"] == 5
+        )
+        assert attempts == [1, 2, 3]
+        failed = [e for e in unit_spans if "error" in e["args"]]
+        assert len(failed) == 2
+        assert all(
+            "TransientUnitError" in e["args"]["error"] for e in failed
+        )
+
+    def test_chrome_export_renders_attempts_as_distinct_slices(self):
+        from repro.obs import to_chrome
+
+        catalog = make_catalog(n=1200)
+        _, _, sink = run_engine(
+            catalog, faults="unit@5:aggregate*2", num_batches=8,
+            unit_retry_attempts=2, with_obs=True,
+        )
+        names = {
+            e["name"]
+            for e in to_chrome(sink.events)["traceEvents"]
+            if e.get("ph") == "X"
+        }
+        assert "unit" in names  # first attempts keep the plain name
+        assert "unit (attempt 2)" in names
+        assert "unit (attempt 3)" in names
+
 
 class TestCliFaults:
     def test_bad_spec_rejected(self):

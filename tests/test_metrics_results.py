@@ -140,7 +140,7 @@ class TestMetricsSchema:
         return rm
 
     def test_schema_version_pinned(self):
-        assert RUN_METRICS_SCHEMA_VERSION == 2
+        assert RUN_METRICS_SCHEMA_VERSION == 3
 
     def test_golden_field_sets(self):
         # Adding/removing a metrics field must touch this test AND bump
@@ -151,15 +151,41 @@ class TestMetricsSchema:
             "schema_version", "num_batches", "total_seconds",
             "total_unit_seconds", "total_recomputed", "total_shipped_bytes",
             "num_recoveries", "pruning_disabled", "analysis_seconds",
-            "sanitize_seconds", "op_seconds", "batches",
+            "sanitize_seconds", "profile_seconds", "cost_calibration",
+            "op_seconds", "batches",
         }
         assert set(data["batches"][0]) == {
             "batch_no", "wall_seconds", "unit_seconds", "new_tuples",
             "recomputed_tuples", "shipped_bytes", "state_bytes",
             "total_state_bytes", "op_seconds", "recovered",
-            "recovery_seconds",
+            "recovery_seconds", "predicted_seconds",
         }
         assert data["schema_version"] == RUN_METRICS_SCHEMA_VERSION
+
+    def test_v2_artifact_still_validates(self):
+        # Archived artifacts outlive engine releases: a v2 dump (no
+        # profiler fields) must keep validating against the v2 field set.
+        data = self.make().to_dict()
+        data["schema_version"] = 2
+        for name in ("profile_seconds", "cost_calibration"):
+            del data[name]
+        for batch in data["batches"]:
+            del batch["predicted_seconds"]
+        validate_run_metrics(data)
+
+    def test_v2_artifact_with_v3_fields_rejected(self):
+        # Version claims are checked against that version's own field
+        # set — a v2 artifact smuggling v3 fields is drift, not compat.
+        data = self.make().to_dict()
+        data["schema_version"] = 2
+        with pytest.raises(ValueError, match="unknown field"):
+            validate_run_metrics(data)
+
+    def test_v3_artifact_missing_v3_fields_rejected(self):
+        data = self.make().to_dict()
+        del data["cost_calibration"]
+        with pytest.raises(ValueError, match="missing field"):
+            validate_run_metrics(data)
 
     def test_file_round_trip_validates(self, tmp_path):
         import json

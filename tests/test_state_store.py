@@ -261,3 +261,59 @@ class TestEngineStateAccounting:
         filters = [op for op in ops if isinstance(op, UncertainFilterOp)]
         assert filters
         assert {k for k, _ in filters[0].state_items()} == {"nd", "sentinels"}
+
+
+class TestEntryBytesMemo:
+    """``entry_bytes`` memoizes on the mutation counter: the obs layer
+    sizes every store twice per batch (per-entry gauges + Fig. 9(b)
+    accounting), and without the memo each call re-walks every entry."""
+
+    def test_repeat_calls_do_not_resample(self, monkeypatch):
+        import repro.state.store as store_mod
+
+        store = InMemoryStateStore()
+        store.put("a", np.zeros(16))
+        store.put("b", {"k": 1.0})
+        calls = {"n": 0}
+        real = store_mod.estimate_nbytes
+
+        def counting(value, seen=None):
+            calls["n"] += 1
+            return real(value, seen)
+
+        monkeypatch.setattr(store_mod, "estimate_nbytes", counting)
+        first = store.entry_bytes()
+        sampled = calls["n"]
+        assert sampled > 0
+        assert store.entry_bytes() is first
+        assert store.estimated_bytes() == sum(first.values())
+        assert calls["n"] == sampled  # memo hit: zero extra sampling
+
+    def test_put_and_delete_invalidate(self):
+        store = InMemoryStateStore()
+        store.put("a", np.zeros(8))
+        assert store.entry_bytes() == {"a": 64}
+        store.put("b", np.zeros(4, dtype=np.float64))
+        assert store.entry_bytes() == {"a": 64, "b": 32}
+        store.delete("a")
+        assert store.entry_bytes() == {"b": 32}
+
+    def test_restore_invalidates_despite_counter(self):
+        # restore() swaps the entry dict without bumping ``writes``; the
+        # memo must not survive it.
+        store = InMemoryStateStore()
+        store.put("a", np.zeros(8))
+        snap = store.checkpoint()
+        store.put("a", np.zeros(1000))
+        writes_at_snapshot_use = store.writes
+        big = store.entry_bytes()["a"]
+        store.restore(snap)
+        store.writes = writes_at_snapshot_use  # worst case: counter unchanged
+        assert store.entry_bytes()["a"] < big
+
+    def test_clear_invalidates(self):
+        store = InMemoryStateStore()
+        store.put("a", np.zeros(8))
+        assert store.entry_bytes()
+        store.clear()
+        assert store.entry_bytes() == {}
