@@ -85,6 +85,10 @@ class GroupValue:
 class BlockOutput:
     """The (small) current output relation of a lineage block."""
 
+    #: ``estimate_nbytes`` threads its seen-set through ``estimated_bytes``
+    #: so groups shared with a rollup store are not double-counted.
+    nbytes_seen_aware = True
+
     def __init__(self, block_id: int, key_cols: list[str], value_cols: list[str]):
         self.block_id = block_id
         self.key_cols = key_cols
@@ -92,6 +96,16 @@ class BlockOutput:
         self.groups: dict[GroupKey, GroupValue] = {}
         #: Keys first published this batch (delta of the block boundary).
         self.new_keys: list[GroupKey] = []
+        #: Bumped once per publish cycle when the output object persists
+        #: across batches (the rollup publish path); derived caches keyed
+        #: on output identity (e.g. the kernel group tables) must compare
+        #: versions, not just identity.
+        self.version = 0
+        #: Keys published behind the hot tier's stable prefix (tombstones
+        #: and keys not yet in the sketch); the next publish cycle pops
+        #: and re-appends them so hot groups keep their first-published
+        #: positions.
+        self.tail_keys: list[GroupKey] = []
 
     def get(self, key: GroupKey) -> GroupValue | None:
         return self.groups.get(key)
@@ -104,7 +118,24 @@ class BlockOutput:
     def __len__(self) -> int:
         return len(self.groups)
 
-    def estimated_bytes(self) -> int:
+    def __deepcopy__(self, memo: dict) -> "BlockOutput":
+        """Checkpoint copy: fresh containers, shared ``GroupValue`` leaves.
+
+        Published groups are replaced, never mutated in place (each
+        publish cycle builds new ``GroupValue`` objects), so a snapshot
+        only needs its own dict/list structure. This keeps checkpoints of
+        the persistent rollup-path output O(groups) pointer copies
+        instead of deep-copying every trials array in the block.
+        """
+        clone = BlockOutput(self.block_id, self.key_cols, self.value_cols)
+        memo[id(self)] = clone
+        clone.groups = dict(self.groups)
+        clone.new_keys = list(self.new_keys)
+        clone.tail_keys = list(self.tail_keys)
+        clone.version = self.version
+        return clone
+
+    def estimated_bytes(self, seen: set[int] | None = None) -> int:
         if not self.groups:
             return 0
         sample = next(iter(self.groups.values()))
@@ -113,7 +144,17 @@ class BlockOutput:
             per_group += 8
             if isinstance(v, UncertainValue):
                 per_group += 8 * len(v.trials)
-        return per_group * len(self.groups)
+        if seen is None:
+            return per_group * len(self.groups)
+        # Count only groups not already measured under another entry (a
+        # rollup tier referencing the same GroupValue objects), marking
+        # them so the dedup is symmetric whichever entry sizes first.
+        fresh = 0
+        for group in self.groups.values():
+            if id(group) not in seen:
+                seen.add(id(group))
+                fresh += 1
+        return per_group * fresh
 
 
 @dataclass
@@ -197,6 +238,16 @@ class OnlineConfig:
     #: None disables the gauge. Does not stop the run — early stopping
     #: stays the caller's decision, as in the paper's interaction model.
     target_rsd: float | None = None
+    #: Two-tier aggregation (:mod:`repro.rollup`): migrate groups whose
+    #: pruning decisions the sentinel layer has resolved out of the
+    #: per-batch hot loop into a finalized rollup tier, so batch cost
+    #: scales with the live ND set instead of the total group count.
+    #: Results are bit-identical to a rollup-off run (enforced by tests).
+    rollup: bool = False
+    #: Consecutive batches a resolved group must go untouched (no new
+    #: certain or ND contribution) before it migrates to the rollup tier.
+    #: Higher = more conservative (fewer demotions on late arrivals).
+    rollup_quiesce: int = 2
 
 
 class RuntimeContext:

@@ -70,6 +70,9 @@ class OnlineQueryEngine:
         #: Continuous profiler of the current run
         #: (``OnlineConfig(profile=True)``), or None.
         self.profiler = None
+        #: Identity-keyed result-row projection cache (rollup runs only):
+        #: ``id(urow) -> (urow, projected dict)``, rebuilt every batch.
+        self._result_rows_cache: dict[int, tuple[object, dict]] = {}
 
     def run(
         self,
@@ -121,6 +124,7 @@ class OnlineQueryEngine:
             # hooks for the duration of this run (removed in the finally).
             ctx.sanitizer.activate()
         self.metrics = RunMetrics()
+        self._result_rows_cache = {}
 
         compiled.open(ctx)
         # Pristine-state snapshot: failure recovery rewinds every operator
@@ -305,14 +309,19 @@ class OnlineQueryEngine:
         started = time.perf_counter()
         ctx.monitor.replaying = True
         ctx.monitor.reset()
+        # CheckpointManager.restore demotes every restored rollup entry
+        # back into its sketch: the replayed suffix cannot trust state
+        # migrated past the restore point.
         if ckpt is not None:
-            ctx.stores.restore(ckpt.snapshot)
+            demoted = self._checkpoints.restore(ctx.stores, ckpt.snapshot)
             ctx.reset_for_replay(
                 batch_no=ckpt.batch_no, seen_rows=ckpt.seen_rows
             )
         else:
-            ctx.stores.restore(baseline)
+            demoted = self._checkpoints.restore(ctx.stores, baseline)
             ctx.reset_for_replay()
+        if demoted:
+            obs.metrics.counter("rollup.restore_demotions").inc(demoted)
         # Checkpoints newer than the restore point contain the decisions
         # the failure just invalidated; they must never be restored.
         self._checkpoints.drop_after(start_from)
@@ -413,8 +422,27 @@ class OnlineQueryEngine:
     ) -> PartialResult:
         rows = []
         names = compiled.result_schema.names
-        for urow in compiled.current_rows(ctx):
-            rows.append({name: urow.values[name] for name in names})
+        if self.config.rollup:
+            # Result rows of rollup-tier groups are the *same* URow
+            # objects batch over batch (the small-plan leaves reuse them
+            # for unchanged GroupValues); projecting them into the
+            # result dict again would put the per-row cost back on the
+            # total group count. Identity-keyed, so any recomputed URow
+            # misses and projects fresh.
+            cache = self._result_rows_cache
+            fresh: dict[int, tuple[object, dict]] = {}
+            for urow in compiled.current_rows(ctx):
+                hit = cache.get(id(urow))
+                if hit is not None and hit[0] is urow:
+                    row = hit[1]
+                else:
+                    row = {name: urow.values[name] for name in names}
+                fresh[id(urow)] = (urow, row)
+                rows.append(row)
+            self._result_rows_cache = fresh
+        else:
+            for urow in compiled.current_rows(ctx):
+                rows.append({name: urow.values[name] for name in names})
         is_final = batch_no == num_batches
         if is_final:
             rows = [_finalize_row(r) for r in rows]

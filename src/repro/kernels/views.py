@@ -103,13 +103,24 @@ _LOCK = threading.Lock()
 
 
 def group_table(view) -> GroupTable:
-    """Memoized :class:`GroupTable` of a published block output."""
+    """Memoized :class:`GroupTable` of a published block output.
+
+    Keyed by output identity *and* publish version: the rollup publish
+    path mutates one persistent ``BlockOutput`` in place across batches
+    (bumping ``version`` each cycle), so identity alone would serve a
+    stale flattening of the previous batch.
+    """
+    version = getattr(view, "version", 0)
     with _LOCK:
-        table = _CACHE.get(view)
-    if table is not None:
+        hit = _CACHE.get(view)
+    if hit is not None and hit[0] == version:
         STATS.inc("view_table_hits")
-        return table
+        return hit[1]
     STATS.inc("view_table_misses")
     table = GroupTable(view)
     with _LOCK:
-        return _CACHE.setdefault(view, table)
+        cached = _CACHE.get(view)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        _CACHE[view] = (version, table)
+    return table

@@ -11,7 +11,8 @@ Versioning: the validators accept the current version *and* the
 immediately preceding one (archived artifacts outlive engine releases),
 each against its own frozen field set. v2 -> v3 added the continuous
 profiler / cost-model fields (``predicted_seconds`` per batch,
-``profile_seconds`` + ``cost_calibration`` per run).
+``profile_seconds`` + ``cost_calibration`` per run); v3 -> v4 added the
+rollup-tier group split (``rollup_groups``/``nd_groups`` per batch).
 """
 
 from __future__ import annotations
@@ -19,12 +20,12 @@ from __future__ import annotations
 from typing import Any
 
 #: Bump whenever a field is added/removed/retyped in either dict below.
-RUN_METRICS_SCHEMA_VERSION = 3
+RUN_METRICS_SCHEMA_VERSION = 4
 
 _NUMBER = (int, float)
 
-#: Field name -> accepted types, one ``BatchMetrics.to_dict()`` (v2 set).
-BATCH_METRICS_FIELDS_V2: dict[str, tuple[type, ...]] = {
+#: Field name -> accepted types, one ``BatchMetrics.to_dict()`` (v3 set).
+BATCH_METRICS_FIELDS_V3: dict[str, tuple[type, ...]] = {
     "batch_no": (int,),
     "wall_seconds": _NUMBER,
     "unit_seconds": _NUMBER,
@@ -36,16 +37,18 @@ BATCH_METRICS_FIELDS_V2: dict[str, tuple[type, ...]] = {
     "op_seconds": (dict,),
     "recovered": (bool,),
     "recovery_seconds": _NUMBER,
+    "predicted_seconds": _NUMBER,
 }
 
 #: Field name -> accepted types, for one ``BatchMetrics.to_dict()``.
 BATCH_METRICS_FIELDS: dict[str, tuple[type, ...]] = {
-    **BATCH_METRICS_FIELDS_V2,
-    "predicted_seconds": _NUMBER,
+    **BATCH_METRICS_FIELDS_V3,
+    "rollup_groups": (int,),
+    "nd_groups": (int,),
 }
 
-#: Field name -> accepted types, one ``RunMetrics.to_dict()`` (v2 set).
-RUN_METRICS_FIELDS_V2: dict[str, tuple[type, ...]] = {
+#: Field name -> accepted types, one ``RunMetrics.to_dict()`` (v3 set).
+RUN_METRICS_FIELDS_V3: dict[str, tuple[type, ...]] = {
     "schema_version": (int,),
     "num_batches": (int,),
     "total_seconds": _NUMBER,
@@ -58,18 +61,19 @@ RUN_METRICS_FIELDS_V2: dict[str, tuple[type, ...]] = {
     "sanitize_seconds": _NUMBER,
     "op_seconds": (dict,),
     "batches": (list,),
-}
-
-#: Field name -> accepted types, for one ``RunMetrics.to_dict()``.
-RUN_METRICS_FIELDS: dict[str, tuple[type, ...]] = {
-    **RUN_METRICS_FIELDS_V2,
     "profile_seconds": _NUMBER,
     "cost_calibration": (dict,),
 }
 
+#: Field name -> accepted types, for one ``RunMetrics.to_dict()``.
+#: The v3 -> v4 bump added only batch-level fields.
+RUN_METRICS_FIELDS: dict[str, tuple[type, ...]] = {
+    **RUN_METRICS_FIELDS_V3,
+}
+
 _FIELDS_BY_VERSION: dict[int, tuple[dict, dict]] = {
-    2: (RUN_METRICS_FIELDS_V2, BATCH_METRICS_FIELDS_V2),
-    3: (RUN_METRICS_FIELDS, BATCH_METRICS_FIELDS),
+    3: (RUN_METRICS_FIELDS_V3, BATCH_METRICS_FIELDS_V3),
+    4: (RUN_METRICS_FIELDS, BATCH_METRICS_FIELDS),
 }
 
 

@@ -47,6 +47,13 @@ class BatchMetrics:
     #: off or the model was still warming up). Compared against
     #: ``wall_seconds - recovery_seconds`` for calibration.
     predicted_seconds: float = 0.0
+    #: Groups served from the resolved-rollup tier this batch, summed
+    #: over aggregate sinks (0 with ``rollup=False``). The Fig. 10 claim
+    #: in one number: ``nd_groups`` stays flat while this grows.
+    rollup_groups: int = 0
+    #: Groups recomputed in the hot per-batch loop (the live ND set plus
+    #: not-yet-quiescent groups), summed over aggregate sinks.
+    nd_groups: int = 0
 
     def reset_attempt(self) -> None:
         """Discard the accumulators of a failed batch attempt.
@@ -66,6 +73,8 @@ class BatchMetrics:
         self.shipped_bytes = 0
         self.state_bytes = {}
         self.op_seconds = {}
+        self.rollup_groups = 0
+        self.nd_groups = 0
 
     def add_state(self, label: str, nbytes: int) -> None:
         self.state_bytes[label] = self.state_bytes.get(label, 0) + nbytes
@@ -96,6 +105,8 @@ class BatchMetrics:
             self.add_op_seconds(label, seconds)
         self.recovered = self.recovered or other.recovered
         self.recovery_seconds += other.recovery_seconds
+        self.rollup_groups += other.rollup_groups
+        self.nd_groups += other.nd_groups
 
     @property
     def total_state_bytes(self) -> int:
@@ -118,6 +129,8 @@ class BatchMetrics:
             "recovered": self.recovered,
             "recovery_seconds": self.recovery_seconds,
             "predicted_seconds": self.predicted_seconds,
+            "rollup_groups": self.rollup_groups,
+            "nd_groups": self.nd_groups,
         }
 
 

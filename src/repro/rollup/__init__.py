@@ -1,0 +1,23 @@
+"""Two-tier aggregation: the resolved-rollup plane (``rollup=True``).
+
+The paper's Fig. 10 observation is that most groups become
+near-deterministic early and then stop changing, yet a naive engine
+re-finalizes every group every batch — per-batch cost grows with the
+total group count instead of the shrinking ND set. This package holds
+tier 1 of the fix: :class:`ResolvedRollupStore`, a per-sink store of
+finalized group accumulators that have migrated out of the hot path.
+The aggregate operator's per-batch loop iterates only groups with live
+ND membership; the published block output is the union rollup ⊎ hot.
+
+Migration and demotion are bit-exact inverses over
+:class:`repro.core.sketch.SketchRow`, so a rollup-on run publishes
+byte-identical partial results to a rollup-off run (enforced by tests).
+"""
+
+from repro.rollup.store import (
+    ResolvedRollupStore,
+    RollupEntry,
+    demote_restored_rollups,
+)
+
+__all__ = ["ResolvedRollupStore", "RollupEntry", "demote_restored_rollups"]

@@ -47,6 +47,12 @@ def estimate_nbytes(value: object, seen: set[int] | None = None) -> int:
         return value.estimated_bytes()
     own = getattr(value, "estimated_bytes", None)
     if callable(own):
+        # Objects marked seen-aware (block outputs, rollup stores) share
+        # structure across entries — a migrated group's GroupValue is
+        # referenced by both the "rollup" and "output" entries — and take
+        # the traversal's seen-set so the shared objects count once.
+        if getattr(value, "nbytes_seen_aware", False):
+            return int(own(seen))
         return int(own())
     if isinstance(value, np.ndarray):
         if value.dtype == object:
@@ -70,6 +76,70 @@ def estimate_nbytes(value: object, seen: set[int] | None = None) -> int:
     if isinstance(value, (list, tuple)):
         return 56 + sum(8 + estimate_nbytes(v, seen) for v in value)
     return 64
+
+
+class SelfSizingSet(set):
+    """A set of immutable keys that maintains its own byte footprint.
+
+    The observability layer re-measures every state entry once per batch;
+    for the aggregate sink's key sets (``published_keys``,
+    ``certain_groups``) the generic recursive walk is O(elements) per
+    measurement even though elements are immutable and add-only in the
+    steady state. This subclass pays the per-element estimate once, at
+    insertion, and serves ``estimated_bytes`` in O(1) — bit-identical to
+    the generic ``64 + Σ (16 + estimate_nbytes(element))`` convention.
+
+    Elements must be hashable (hence effectively immutable), so a stored
+    estimate can never go stale.
+    """
+
+    __slots__ = ("_nbytes",)
+
+    def __init__(self, items: "Iterator[object] | tuple" = ()) -> None:
+        super().__init__()
+        self._nbytes = 64
+        self.update(items)
+
+    def add(self, item: object) -> None:
+        if item not in self:
+            set.add(self, item)
+            self._nbytes += 16 + estimate_nbytes(item)
+
+    def update(self, *iterables: object) -> None:  # type: ignore[override]
+        for iterable in iterables:
+            for item in iterable:  # type: ignore[attr-defined]
+                self.add(item)
+
+    def discard(self, item: object) -> None:
+        if item in self:
+            set.discard(self, item)
+            self._nbytes -= 16 + estimate_nbytes(item)
+
+    def remove(self, item: object) -> None:
+        if item not in self:
+            raise KeyError(item)
+        self.discard(item)
+
+    def pop(self) -> object:
+        item = set.pop(self)
+        self._nbytes -= 16 + estimate_nbytes(item)
+        return item
+
+    def clear(self) -> None:
+        set.clear(self)
+        self._nbytes = 64
+
+    def __deepcopy__(self, memo: dict) -> "SelfSizingSet":
+        # Elements are immutable by contract, so a snapshot shares them;
+        # only the container itself is fresh.
+        clone = self.__class__()
+        memo[id(self)] = clone
+        set.update(clone, self)
+        clone._nbytes = self._nbytes
+        return clone
+
+    def estimated_bytes(self) -> int:
+        return self._nbytes
 
 
 class StateStore:
@@ -202,8 +272,13 @@ class InMemoryStateStore(StateStore):
         return sizes
 
     def checkpoint(self) -> object:
+        # One deepcopy memo across entries: objects shared between
+        # entries (a GroupValue referenced by both the rollup tier and
+        # the block output) stay shared in the snapshot, preserving both
+        # the aliasing semantics and the deduplicated byte accounting.
+        memo: dict[int, object] = {}
         entries = {
-            k: (v if k in self._static else copy.deepcopy(v))
+            k: (v if k in self._static else copy.deepcopy(v, memo))
             for k, v in self._entries.items()
         }
         return {"entries": entries, "static": set(self._static)}
@@ -211,8 +286,9 @@ class InMemoryStateStore(StateStore):
     def restore(self, snapshot: object) -> None:
         assert isinstance(snapshot, dict)
         static = snapshot["static"]
+        memo: dict[int, object] = {}
         self._entries = {
-            k: (v if k in static else copy.deepcopy(v))
+            k: (v if k in static else copy.deepcopy(v, memo))
             for k, v in snapshot["entries"].items()
         }
         self._static = set(static)

@@ -140,7 +140,7 @@ class TestMetricsSchema:
         return rm
 
     def test_schema_version_pinned(self):
-        assert RUN_METRICS_SCHEMA_VERSION == 3
+        assert RUN_METRICS_SCHEMA_VERSION == 4
 
     def test_golden_field_sets(self):
         # Adding/removing a metrics field must touch this test AND bump
@@ -158,30 +158,37 @@ class TestMetricsSchema:
             "batch_no", "wall_seconds", "unit_seconds", "new_tuples",
             "recomputed_tuples", "shipped_bytes", "state_bytes",
             "total_state_bytes", "op_seconds", "recovered",
-            "recovery_seconds", "predicted_seconds",
+            "recovery_seconds", "predicted_seconds", "rollup_groups",
+            "nd_groups",
         }
         assert data["schema_version"] == RUN_METRICS_SCHEMA_VERSION
 
-    def test_v2_artifact_still_validates(self):
-        # Archived artifacts outlive engine releases: a v2 dump (no
-        # profiler fields) must keep validating against the v2 field set.
+    def test_v3_artifact_still_validates(self):
+        # Archived artifacts outlive engine releases: a v3 dump (no
+        # rollup fields) must keep validating against the v3 field set.
         data = self.make().to_dict()
-        data["schema_version"] = 2
-        for name in ("profile_seconds", "cost_calibration"):
-            del data[name]
+        data["schema_version"] = 3
         for batch in data["batches"]:
-            del batch["predicted_seconds"]
+            del batch["rollup_groups"]
+            del batch["nd_groups"]
         validate_run_metrics(data)
 
-    def test_v2_artifact_with_v3_fields_rejected(self):
+    def test_v3_artifact_with_v4_fields_rejected(self):
         # Version claims are checked against that version's own field
-        # set — a v2 artifact smuggling v3 fields is drift, not compat.
+        # set — a v3 artifact smuggling v4 fields is drift, not compat.
         data = self.make().to_dict()
-        data["schema_version"] = 2
+        data["schema_version"] = 3
         with pytest.raises(ValueError, match="unknown field"):
             validate_run_metrics(data)
 
-    def test_v3_artifact_missing_v3_fields_rejected(self):
+    def test_v4_artifact_missing_v4_fields_rejected(self):
+        data = self.make().to_dict()
+        for batch in data["batches"]:
+            del batch["nd_groups"]
+        with pytest.raises(ValueError, match="missing field"):
+            validate_run_metrics(data)
+
+    def test_v4_artifact_missing_run_fields_rejected(self):
         data = self.make().to_dict()
         del data["cost_calibration"]
         with pytest.raises(ValueError, match="missing field"):
