@@ -1,0 +1,213 @@
+"""Shard-scaling benchmark: the ND-heavy kernel workload across workers.
+
+Runs the same ND-heavy online query as ``test_perf_kernels`` (uncertain
+semijoin membership feeding a grouped holistic MEDIAN — the per-batch
+cost is dominated by per-group trial re-evaluation) serially and sharded
+across 2 and 4 worker processes, and records two scaling numbers per
+shard count:
+
+* **wall scaling** — serial wall / sharded wall. Only meaningful on a
+  multi-core machine; on the single-core CI runners it hovers below 1
+  (process scheduling cannot create cores).
+* **cpu scaling** — serial process-CPU / sharded critical-path CPU,
+  where the critical path is ``parent_cpu + max(worker_cpu)``. This is
+  the machine-independent number: it measures how much computation the
+  slowest shard actually runs, i.e. the wall-clock speedup an N-core
+  machine would see. The grouped-holistic hot loop is superlinear in
+  rows per group, so splitting groups across shards shrinks per-shard
+  CPU near-linearly.
+
+Results are written to ``BENCH_shards.json`` at the repo root; the CI
+``shard-smoke`` job regenerates the numbers at reduced scale and fails
+if cpu scaling drops below half the checked-in baseline.
+
+The grouped-holistic kernel is superlinear in rows per group while the
+per-worker fixed costs (full-batch bootstrap draws, shard hashing) are
+linear, so the default scale is deliberately large — at small scale the
+fixed overhead dominates and scaling looks flat.
+
+Scale knobs (environment variables):
+
+* ``IOLAP_PERF_SCALE``   — TPC-H scale factor (default 8.0)
+* ``IOLAP_PERF_BATCHES`` — mini-batches (default 20)
+* ``IOLAP_PERF_TRIALS``  — bootstrap trials (default 60)
+* ``IOLAP_PERF_REPS``    — repetitions, best-of (default 3)
+* ``IOLAP_SHARD_MIN_SCALING`` — cpu-scaling floor at 4 shards
+  (default 2.0; the checked-in full-scale run shows >=2.5x. The CI
+  ``shard-smoke`` job runs at reduced scale with its own floor at half
+  the checked-in baseline.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.core import OnlineConfig, OnlineQueryEngine
+from repro.core.result import _key
+from repro.core.values import UncertainValue
+from repro.engine.shards import ShardedQueryEngine, analyze_shardability
+
+from benchmarks.harness import SEED, tpch_catalog
+from benchmarks.test_perf_kernels import nd_heavy_plan
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_shards.json"
+
+PERF_SCALE = float(os.environ.get("IOLAP_PERF_SCALE", "8.0"))
+PERF_BATCHES = int(os.environ.get("IOLAP_PERF_BATCHES", "20"))
+PERF_TRIALS = int(os.environ.get("IOLAP_PERF_TRIALS", "60"))
+PERF_REPS = int(os.environ.get("IOLAP_PERF_REPS", "3"))
+MIN_SCALING = float(os.environ.get("IOLAP_SHARD_MIN_SCALING", "2.0"))
+
+SHARD_COUNTS = (2, 4)
+
+
+def _config(shards: int = 0) -> OnlineConfig:
+    return OnlineConfig(num_trials=PERF_TRIALS, seed=SEED, shards=shards)
+
+
+def run_serial(catalog, plan) -> dict:
+    engine = OnlineQueryEngine(catalog, "lineorder", _config())
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    last = None
+    for last in engine.run(plan, PERF_BATCHES):
+        pass
+    result = {
+        "wall_seconds": time.perf_counter() - wall0,
+        "cpu_seconds": time.process_time() - cpu0,
+        "per_batch_seconds": [bm.wall_seconds for bm in engine.metrics.batches],
+    }
+    engine.executor.close()
+    return result, last
+
+
+def run_sharded(catalog, plan, shards: int) -> dict:
+    engine = ShardedQueryEngine(catalog, "lineorder", _config(shards))
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    last = None
+    for last in engine.run(plan, PERF_BATCHES):
+        pass
+    wall = time.perf_counter() - wall0
+    parent_cpu = time.process_time() - cpu0
+    assert engine.shard_plan is not None and engine.shard_plan.shardable
+    worker_cpu = [
+        engine.shard_cpu_seconds[s] for s in range(shards)
+    ]
+    return {
+        "shards": shards,
+        "wall_seconds": wall,
+        "parent_cpu_seconds": parent_cpu,
+        "worker_cpu_seconds": worker_cpu,
+        "critical_path_cpu_seconds": parent_cpu + max(worker_cpu),
+        "per_batch_seconds": [bm.wall_seconds for bm in engine.metrics.batches],
+    }, last
+
+
+def _canon(rows):
+    def point(v):
+        return v.value if isinstance(v, UncertainValue) else v
+
+    return sorted(rows, key=lambda row: tuple(_key(point(v)) for v in row.values()))
+
+
+@pytest.fixture(scope="module")
+def bench() -> dict:
+    catalog = tpch_catalog(PERF_SCALE)
+    plan, threshold = nd_heavy_plan(catalog)
+    verdict = analyze_shardability(plan, "lineorder")
+    assert verdict.shardable and verdict.shard_key == ("custkey",)
+
+    serial_best, serial_final = None, None
+    for _ in range(PERF_REPS):
+        result, final = run_serial(catalog, plan)
+        if serial_best is None or result["cpu_seconds"] < serial_best["cpu_seconds"]:
+            serial_best, serial_final = result, final
+
+    sharded = {}
+    finals = {}
+    for shards in SHARD_COUNTS:
+        best = None
+        for _ in range(PERF_REPS):
+            result, final = run_sharded(catalog, plan, shards)
+            if (
+                best is None
+                or result["critical_path_cpu_seconds"]
+                < best["critical_path_cpu_seconds"]
+            ):
+                best, finals[shards] = result, final
+        best["wall_scaling"] = serial_best["wall_seconds"] / best["wall_seconds"]
+        best["cpu_scaling"] = (
+            serial_best["cpu_seconds"] / best["critical_path_cpu_seconds"]
+        )
+        sharded[str(shards)] = best
+
+    result = {
+        "schema": "bench-shards-v1",
+        "config": {
+            "tpch_scale": PERF_SCALE,
+            "fact_rows": len(catalog.get("lineorder")),
+            "num_batches": PERF_BATCHES,
+            "num_trials": PERF_TRIALS,
+            "reps": PERF_REPS,
+            "seed": SEED,
+            "cores": os.cpu_count(),
+            "shard_key": list(verdict.shard_key),
+            "nd_threshold": threshold,
+            "query": "lineorder semijoin(custkey revenue > median) "
+                     "-> groupby custkey [median(extendedprice), count]",
+        },
+        "serial": serial_best,
+        "sharded": sharded,
+    }
+    BENCH_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    result["_finals"] = {"serial": serial_final, **finals}
+    return result
+
+
+def test_results_bit_identical_across_shard_counts(bench):
+    """The benchmark configuration is also a determinism fixture: the
+    final exact rows must be identical serial vs every shard count."""
+    finals = bench["_finals"]
+    reference = _canon(finals["serial"].rows)
+    for shards in SHARD_COUNTS:
+        rows = finals[shards].rows
+        assert len(rows) == len(reference)
+        for expected, got in zip(reference, rows):
+            assert expected == got, f"shards={shards}"
+
+
+def test_cpu_scaling_floor(bench):
+    scaling = bench["sharded"]["4"]["cpu_scaling"]
+    assert scaling >= MIN_SCALING, (
+        f"critical-path cpu scaling at 4 shards {scaling:.2f}x "
+        f"below floor {MIN_SCALING}x"
+    )
+
+
+def test_scaling_monotone(bench):
+    """More shards must not run a *longer* critical path."""
+    two = bench["sharded"]["2"]["critical_path_cpu_seconds"]
+    four = bench["sharded"]["4"]["critical_path_cpu_seconds"]
+    assert four <= two * 1.1, (two, four)
+
+
+def test_workers_balanced(bench):
+    """splitmix64 hashing spreads custkey groups: no worker may carry
+    more than twice the mean CPU at 4 shards."""
+    cpu = bench["sharded"]["4"]["worker_cpu_seconds"]
+    assert max(cpu) <= 2.0 * (sum(cpu) / len(cpu)), cpu
+
+
+def test_bench_file_checked_in_and_valid(bench):
+    on_disk = json.loads(BENCH_PATH.read_text())
+    assert on_disk["schema"] == "bench-shards-v1"
+    assert set(on_disk["sharded"]) == {str(s) for s in SHARD_COUNTS}
+    for run in on_disk["sharded"].values():
+        assert len(run["worker_cpu_seconds"]) == run["shards"]
+        assert run["critical_path_cpu_seconds"] > 0
+        assert len(run["per_batch_seconds"]) == on_disk["config"]["num_batches"]

@@ -240,6 +240,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch executor for the iolap engine (default: serial)",
     )
     parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run the iolap engine across N shard worker processes "
+        "(group-key sharding; results are bit-identical to the serial "
+        "run; plans without a shardable group key fall back to "
+        "single-process execution; 0/1 disables)",
+    )
+    parser.add_argument(
         "--metrics-out", metavar="PATH", default=None,
         help="write per-batch run metrics as JSON to PATH (iolap engine)",
     )
@@ -284,9 +291,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", metavar="SPEC", default=None,
         help="inject deterministic faults (iolap engine): comma-separated "
         "kind@batch[:target][*times] specs with kind in "
-        "{sentinel,batch,unit,checkpoint}, e.g. "
-        "'sentinel@16,unit@5:aggregate*2,checkpoint@12'; recovery must "
-        "still produce the fault-free answer",
+        "{sentinel,batch,unit,checkpoint,shard}, e.g. "
+        "'sentinel@16,unit@5:aggregate*2,checkpoint@12,shard@6:1'; "
+        "recovery must still produce the fault-free answer",
     )
     parser.add_argument(
         "--checkpoint-interval", type=int, default=None, metavar="N",
@@ -775,7 +782,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.converge
         else None
     )
-    engine = OnlineQueryEngine(
+    engine_cls = OnlineQueryEngine
+    if args.shards > 1:
+        from repro.engine.shards import ShardedQueryEngine
+
+        engine_cls = ShardedQueryEngine
+    engine = engine_cls(
         catalog,
         streamed,
         OnlineConfig(
@@ -787,6 +799,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             vectorize=not args.no_vectorize,
             rollup=args.rollup,
             faults=args.faults,
+            shards=args.shards,
             **_profile_config(args),
             **(
                 {"checkpoint_interval": args.checkpoint_interval}

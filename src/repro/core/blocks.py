@@ -248,6 +248,13 @@ class OnlineConfig:
     #: certain or ND contribution) before it migrates to the rollup tier.
     #: Higher = more conservative (fewer demotions on late arrivals).
     rollup_quiesce: int = 2
+    #: Process-level scale-out (:mod:`repro.engine.shards`): hash-partition
+    #: the streamed table across this many worker processes, each running
+    #: the full delta algorithm over its shard with shared-nothing state,
+    #: merging per-batch results deterministically at the sink. 0/1 = off
+    #: (single-process execution). Plans without a fact-column group key
+    #: fall back to single-process execution automatically.
+    shards: int = 0
 
 
 class RuntimeContext:

@@ -74,6 +74,11 @@ class OnlineQueryEngine:
         #: ``id(urow) -> (urow, projected dict)``, rebuilt every batch.
         self._result_rows_cache: dict[int, tuple[object, dict]] = {}
 
+    #: Tag recorded on the per-run CheckpointManager; shard workers set
+    #: theirs to ``shard<i>`` so recovery logs and snapshots are
+    #: attributable to one shard's namespace.
+    checkpoint_namespace = ""
+
     def run(
         self,
         plan: PlanNode,
@@ -81,6 +86,25 @@ class OnlineQueryEngine:
         batch_rows: int | None = None,
     ) -> Iterator[PartialResult]:
         """Execute ``plan`` online; yields one partial result per batch."""
+        session = self.open_run(plan, num_batches, batch_rows=batch_rows)
+        try:
+            for i in range(1, session.num_batches + 1):
+                yield session.process(i)
+        finally:
+            session.close()
+
+    def open_run(
+        self,
+        plan: PlanNode,
+        num_batches: int,
+        batch_rows: int | None = None,
+    ) -> "RunSession":
+        """Set up one online run and hand back its batch driver.
+
+        ``run`` drives the session start to finish; external schedulers
+        (the shard workers of :mod:`repro.engine.shards`) call this
+        directly and drive one batch at a time.
+        """
         streamed = self.catalog.get(self.streamed_table)
         if batch_rows is not None:
             from repro.batching.partitioner import num_batches_for
@@ -115,13 +139,11 @@ class OnlineQueryEngine:
             )
             obs.flush()
             raise
-        ctx = RuntimeContext(
-            self.catalog, self.streamed_table, len(streamed), self.config
-        )
+        ctx = self._make_context(len(streamed))
         ctx.attach_obs(obs)
         if ctx.sanitizer is not None:
             # Install the Relation.slice / DiskTable chunk-view aliasing
-            # hooks for the duration of this run (removed in the finally).
+            # hooks for the duration of this run (removed on close).
             ctx.sanitizer.activate()
         self.metrics = RunMetrics()
         self._result_rows_cache = {}
@@ -134,6 +156,7 @@ class OnlineQueryEngine:
             self.config.checkpoint_interval,
             keep=self.config.checkpoint_keep,
             budget_bytes=self.config.checkpoint_budget_bytes,
+            namespace=self.checkpoint_namespace,
         )
 
         run_span = tracer.span(
@@ -145,55 +168,13 @@ class OnlineQueryEngine:
         ) if tracer.enabled else None
         if run_span:
             run_span.__enter__()
-        try:
-            for i, delta in enumerate(batches, start=1):
-                bm = self.metrics.start_batch(i)
-                if profiler is not None:
-                    t0 = time.perf_counter()
-                    bm.predicted_seconds = profiler.predict_batch_seconds(
-                        len(delta)
-                    )
-                    self.metrics.profile_seconds += time.perf_counter() - t0
-                started = time.perf_counter()
-                if tracer.enabled:
-                    with tracer.span(
-                        "batch", cat="exec", batch=i, rows=len(delta)
-                    ) as batch_span:
-                        self._process_batch(
-                            compiled, ctx, batches, i, delta, bm, baseline
-                        )
-                        batch_span.set(
-                            recovered=bm.recovered,
-                            recomputed_tuples=bm.recomputed_tuples,
-                        )
-                else:
-                    self._process_batch(
-                        compiled, ctx, batches, i, delta, bm, baseline
-                    )
-                bm.wall_seconds = time.perf_counter() - started
-                if ctx.sanitizer is not None:
-                    self.metrics.sanitize_seconds = ctx.sanitizer.seconds
-                self._maybe_checkpoint(ctx, i)
-                if obs.enabled:
-                    self._sample_metrics(ctx, bm, i)
-                    obs.flush()
-                partial = self._make_result(compiled, ctx, i, len(batches), bm)
-                if profiler is not None:
-                    t0 = time.perf_counter()
-                    profiler.observe_batch(ctx, bm, partial)
-                    self._sample_cost_metrics(ctx, bm, profiler, len(delta))
-                    self.metrics.cost_calibration = profiler.calibration()
-                    self.metrics.profile_seconds += time.perf_counter() - t0
-                yield partial
-        finally:
-            if run_span:
-                run_span.__exit__(None, None, None)
-            if ctx.sanitizer is not None:
-                ctx.sanitizer.deactivate()
-            if profiler is not None:
-                profiler.finish()
-            compiled.close()
-            obs.flush()
+        return RunSession(self, compiled, ctx, batches, baseline, obs, run_span)
+
+    def _make_context(self, total_rows: int) -> RuntimeContext:
+        """Build the run's context (shard workers substitute their own)."""
+        return RuntimeContext(
+            self.catalog, self.streamed_table, total_rows, self.config
+        )
 
     def run_to_completion(
         self,
@@ -455,6 +436,99 @@ class OnlineQueryEngine:
             metrics=bm,
             is_final=is_final,
         )
+
+
+class RunSession:
+    """One in-progress online run, driven one batch at a time.
+
+    Owns everything ``open_run`` acquired and releases it in :meth:`close`
+    — including the engine's executor pool, which previously leaked its
+    worker threads when a run ended, raised, or its generator was
+    abandoned mid-stream.
+    """
+
+    def __init__(
+        self,
+        engine: OnlineQueryEngine,
+        compiled: CompiledQuery,
+        ctx: RuntimeContext,
+        batches: list[Relation],
+        baseline: dict[str, object],
+        obs,
+        run_span,
+    ):
+        self.engine = engine
+        self.compiled = compiled
+        self.ctx = ctx
+        self.batches = batches
+        self.baseline = baseline
+        self.obs = obs
+        self.run_span = run_span
+        self.num_batches = len(batches)
+        self._closed = False
+
+    def process(self, batch_no: int) -> PartialResult:
+        """Run mini-batch ``batch_no`` (1-based) and build its result."""
+        engine = self.engine
+        compiled, ctx, obs = self.compiled, self.ctx, self.obs
+        profiler = engine.profiler
+        tracer = obs.tracer
+        i = batch_no
+        delta = self.batches[i - 1]
+        bm = engine.metrics.start_batch(i)
+        if profiler is not None:
+            t0 = time.perf_counter()
+            bm.predicted_seconds = profiler.predict_batch_seconds(len(delta))
+            engine.metrics.profile_seconds += time.perf_counter() - t0
+        started = time.perf_counter()
+        if tracer.enabled:
+            with tracer.span(
+                "batch", cat="exec", batch=i, rows=len(delta)
+            ) as batch_span:
+                engine._process_batch(
+                    compiled, ctx, self.batches, i, delta, bm, self.baseline
+                )
+                batch_span.set(
+                    recovered=bm.recovered,
+                    recomputed_tuples=bm.recomputed_tuples,
+                )
+        else:
+            engine._process_batch(
+                compiled, ctx, self.batches, i, delta, bm, self.baseline
+            )
+        bm.wall_seconds = time.perf_counter() - started
+        if ctx.sanitizer is not None:
+            engine.metrics.sanitize_seconds = ctx.sanitizer.seconds
+        engine._maybe_checkpoint(ctx, i)
+        if obs.enabled:
+            engine._sample_metrics(ctx, bm, i)
+            obs.flush()
+        partial = engine._make_result(compiled, ctx, i, self.num_batches, bm)
+        if profiler is not None:
+            t0 = time.perf_counter()
+            profiler.observe_batch(ctx, bm, partial)
+            engine._sample_cost_metrics(ctx, bm, profiler, len(delta))
+            engine.metrics.cost_calibration = profiler.calibration()
+            engine.metrics.profile_seconds += time.perf_counter() - t0
+        return partial
+
+    def close(self) -> None:
+        """Release everything the run acquired (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.run_span:
+            self.run_span.__exit__(None, None, None)
+        if self.ctx.sanitizer is not None:
+            self.ctx.sanitizer.deactivate()
+        if self.engine.profiler is not None:
+            self.engine.profiler.finish()
+        self.compiled.close()
+        self.obs.flush()
+        # The run owns the executor pool's lifecycle: a ParallelExecutor
+        # re-creates its pool lazily on the next run, so closing here is
+        # safe for engine reuse while guaranteeing no stranded threads.
+        self.engine.executor.close()
 
 
 def _finalize_row(row: dict[str, object]) -> dict[str, object]:

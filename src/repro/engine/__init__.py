@@ -1,4 +1,10 @@
-"""The execution layer: batch executors scheduling compiled units."""
+"""The execution layer: batch executors scheduling compiled units.
+
+``repro.engine.shards`` adds the scale-out tier: a sharded engine that
+hash-partitions the stream across worker processes and merges per-batch
+results deterministically (imported lazily here to keep the serial
+import path free of multiprocessing).
+"""
 
 from repro.engine.executor import (
     BatchExecutor,
@@ -11,5 +17,14 @@ __all__ = [
     "BatchExecutor",
     "ParallelExecutor",
     "SerialExecutor",
+    "ShardedQueryEngine",
     "make_executor",
 ]
+
+
+def __getattr__(name: str):
+    if name == "ShardedQueryEngine":
+        from repro.engine.shards import ShardedQueryEngine
+
+        return ShardedQueryEngine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

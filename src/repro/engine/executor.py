@@ -86,9 +86,10 @@ def dependency_waves(units: Sequence[ExecutionUnit]) -> list[list[int]]:
             waves.extend([i] for i in remaining)
             break
         waves.append(wave)
+        in_wave = set(wave)
         for i in wave:
             available |= units[i].produces
-        remaining = [i for i in remaining if i not in set(wave)]
+        remaining = [i for i in remaining if i not in in_wave]
     return waves
 
 
@@ -171,13 +172,54 @@ class ParallelExecutor(BatchExecutor):
             )
         if failures:
             # Deterministic failure choice: the lowest unit index, i.e.
-            # the one the serial executor would have hit first.
-            raise min(failures, key=lambda pair: pair[0])[1]
+            # the one the serial executor would have hit first. The other
+            # same-wave failures are attached (notes + __context__ chain)
+            # and surfaced as tracer warnings so none is silently lost.
+            failures.sort(key=lambda pair: pair[0])
+            primary_index, primary = failures[0]
+            for index, err in failures[1:]:
+                tracer.warning(
+                    "wave-multi-failure", batch=ctx.batch_no,
+                    unit=units[index].label,
+                    primary_unit=units[primary_index].label,
+                    message=str(err),
+                )
+                if hasattr(primary, "add_note"):  # Python >= 3.11
+                    primary.add_note(
+                        f"[executor] unit {units[index].label!r} also "
+                        f"failed in the same wave: {err!r}"
+                    )
+            _chain_failures(primary, [err for _, err in failures[1:]])
+            raise primary
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+
+def _chain_failures(primary: BaseException, others: list[BaseException]) -> None:
+    """Thread suppressed same-wave failures onto ``primary.__context__``.
+
+    A full traceback of the raised failure then renders every failure of
+    the wave. Walks to the end of each chain and guards against linking
+    an exception twice (distinct units can, in principle, surface the
+    same exception object).
+    """
+    seen = {id(primary)}
+    tail = primary
+    while tail.__context__ is not None and id(tail.__context__) not in seen:
+        tail = tail.__context__
+        seen.add(id(tail))
+    for err in others:
+        if id(err) in seen:
+            continue
+        tail.__context__ = err
+        seen.add(id(err))
+        tail = err
+        while tail.__context__ is not None and id(tail.__context__) not in seen:
+            tail = tail.__context__
+            seen.add(id(tail))
 
 
 def _unit_buffer(

@@ -1,0 +1,35 @@
+"""Sharded process-based execution with shared-nothing shard state.
+
+The scale-out layer: hash-partition the streamed fact table across N
+worker processes, run the full delta algorithm per shard, and merge the
+per-batch partial results deterministically at the sink. See
+:mod:`.planner` for when a plan can shard (group-key sharding and the
+bit-identity argument), :mod:`.engine` for the scheduler and merge sink,
+:mod:`.worker` for the in-process engine each shard runs, and
+:mod:`.envelope` for the pickle-able worker protocol.
+"""
+
+from repro.engine.shards.engine import ShardedQueryEngine
+from repro.engine.shards.envelope import (
+    BatchTask,
+    InitTask,
+    ShardFailure,
+    ShardResult,
+    ShardSpec,
+    StopTask,
+    shard_ids,
+)
+from repro.engine.shards.planner import ShardPlan, analyze_shardability
+
+__all__ = [
+    "BatchTask",
+    "InitTask",
+    "ShardFailure",
+    "ShardPlan",
+    "ShardResult",
+    "ShardSpec",
+    "ShardedQueryEngine",
+    "StopTask",
+    "analyze_shardability",
+    "shard_ids",
+]

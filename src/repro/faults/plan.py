@@ -6,12 +6,16 @@ A plan is a comma-separated list of specs, each::
 
 * ``kind``    — ``sentinel`` (force a variation-range integrity failure),
   ``batch`` (force one at the controller level, before any unit runs),
-  ``unit`` (raise a transient executor-unit failure), or ``checkpoint``
-  (corrupt the checkpoint taken at that batch).
+  ``unit`` (raise a transient executor-unit failure), ``checkpoint``
+  (corrupt the checkpoint taken at that batch), or ``shard`` (kill one
+  shard worker process before that batch; the shard scheduler respawns
+  it and replays its sub-stream — single-shard recovery).
 * ``batch``   — the 1-based mini-batch the fault arms at.
 * ``target``  — optional operator/unit label substring the fault is
   restricted to (e.g. ``select:3``, ``aggregate``); note the label may
   itself contain ``:``, so everything after the first ``:`` is target.
+  For ``shard`` faults the target is the decimal shard index to kill
+  (default: shard 0).
 * ``times``   — optional ``*N`` repeat count (default 1): the fault fires
   on the first N matching probes, then disarms.
 
@@ -22,6 +26,7 @@ Examples::
     batch@4                     # controller-level failure at batch 4
     unit@5:aggregate*2          # fail aggregate units twice at batch 5
     checkpoint@12               # corrupt the checkpoint taken at batch 12
+    shard@6:1                   # kill shard worker 1 before batch 6
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from dataclasses import dataclass, field
 from repro.errors import ReproError
 
 #: The closed set of fault kinds a spec may name.
-FAULT_KINDS = frozenset({"sentinel", "batch", "unit", "checkpoint"})
+FAULT_KINDS = frozenset({"sentinel", "batch", "unit", "checkpoint", "shard"})
 
 
 @dataclass(frozen=True)

@@ -55,8 +55,14 @@ class CheckpointManager:
         interval: int,
         keep: int = 4,
         budget_bytes: int = 256 * 1024 * 1024,
+        namespace: str = "",
     ):
         self.interval = max(int(interval), 0)
+        #: Owner tag ("" for the single-process engine, ``shard<i>`` for a
+        #: shard worker's manager): per-shard recovery keeps one isolated
+        #: ring per worker, and the tag attributes snapshots and recovery
+        #: log lines to the shard that owns them.
+        self.namespace = namespace
         self.keep = max(int(keep), 1)
         self.budget_bytes = max(int(budget_bytes), 0)
         self._ring: list[Checkpoint] = []
@@ -165,3 +171,10 @@ class CheckpointManager:
 
     def __len__(self) -> int:
         return len(self._ring)
+
+    def __repr__(self) -> str:
+        tag = f" namespace={self.namespace!r}" if self.namespace else ""
+        return (
+            f"<CheckpointManager interval={self.interval} "
+            f"kept={len(self._ring)}{tag}>"
+        )

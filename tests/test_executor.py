@@ -293,3 +293,121 @@ class TestUnitSeconds:
         a.merge_from(scratch)
         assert a.unit_seconds == 2.0
         assert a.wall_seconds == 5.0
+
+
+class TestWideWaves:
+    """Regression for the quadratic membership scan in dependency_waves:
+    the wave set is built once per wave, and wide fan-outs produce the
+    pinned schedule."""
+
+    def test_wide_fanout_schedule_pinned(self):
+        # 1 producer -> 200 parallel consumers -> 1 sink.
+        units = [_Unit("root", produces={0})]
+        for i in range(200):
+            units.append(_Unit(f"mid{i}", produces={i + 1}, consumes={0}))
+        units.append(
+            _Unit("sink", consumes=set(range(1, 201)))
+        )
+        waves = dependency_waves(units)
+        assert waves == [[0], list(range(1, 201)), [201]]
+
+    def test_wide_independent_single_wave(self):
+        units = [_Unit(f"u{i}", produces={i}) for i in range(500)]
+        assert dependency_waves(units) == [list(range(500))]
+
+    def test_chain_order_stable(self):
+        units = [
+            _Unit(f"u{i}", produces={i}, consumes={i - 1} if i else set())
+            for i in range(40)
+        ]
+        assert dependency_waves(units) == [[i] for i in range(40)]
+
+
+class _FailUnit(_Unit):
+    def __init__(self, label, produces, message):
+        super().__init__(label, produces=produces)
+        self.message = message
+
+    def run(self, ctx):
+        raise RuntimeError(self.message)
+
+
+class TestMultiFailurePropagation:
+    """When several units of one wave fail, the lowest-index failure is
+    raised (deterministic), and the others surface on it instead of being
+    silently dropped."""
+
+    def _execute(self, units, obs=None):
+        ctx, _ = _fresh_ctx()
+        if obs is not None:
+            ctx.attach_obs(obs)
+        ex = ParallelExecutor(max_workers=4)
+        try:
+            with pytest.raises(RuntimeError) as excinfo:
+                ex.execute(units, ctx)
+        finally:
+            ex.close()
+        return excinfo.value
+
+    def test_min_index_failure_wins(self):
+        units = [
+            _Unit("ok", produces={0}),
+            _FailUnit("f1", {1}, "first"),
+            _FailUnit("f2", {2}, "second"),
+            _FailUnit("f3", {3}, "third"),
+        ]
+        primary = self._execute(units)
+        assert str(primary) == "first"
+
+    def test_sibling_failures_chained_via_context(self):
+        units = [
+            _FailUnit("f1", {1}, "first"),
+            _FailUnit("f2", {2}, "second"),
+            _FailUnit("f3", {3}, "third"),
+        ]
+        primary = self._execute(units)
+        chained = []
+        node = primary.__context__
+        while node is not None:
+            chained.append(str(node))
+            node = node.__context__
+        assert "second" in chained and "third" in chained
+
+    def test_sibling_failures_noted(self):
+        import sys
+
+        if sys.version_info < (3, 11):
+            pytest.skip("exception notes need Python 3.11+")
+        units = [
+            _FailUnit("f1", {1}, "first"),
+            _FailUnit("f2", {2}, "second"),
+        ]
+        primary = self._execute(units)
+        notes = "\n".join(getattr(primary, "__notes__", []))
+        assert "also failed in the same wave" in notes
+        assert "second" in notes
+
+    def test_sibling_failures_traced(self):
+        from repro.obs import Observability
+
+        obs, sink = Observability.in_memory()
+        units = [
+            _FailUnit("f1", {1}, "first"),
+            _FailUnit("f2", {2}, "second"),
+        ]
+        self._execute(units, obs=obs)
+        obs.close()
+        warnings = [
+            e for e in sink.events
+            if e.get("kind") == "warning"
+            and e.get("name") == "wave-multi-failure"
+        ]
+        assert len(warnings) == 1
+        assert warnings[0]["args"]["message"] == "second"
+        assert warnings[0]["args"]["primary_unit"]
+
+    def test_single_failure_has_no_siblings(self):
+        units = [_Unit("ok", produces={0}), _FailUnit("f1", {1}, "only")]
+        primary = self._execute(units)
+        assert str(primary) == "only"
+        assert not getattr(primary, "__notes__", [])
